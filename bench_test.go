@@ -1,0 +1,402 @@
+package icares
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation from one shared full-mission dataset, and adds ablation
+// benchmarks for the design choices DESIGN.md calls out (the 10 s dwell
+// filter, metal-wall shielding, clock rectification, the 60 dB / 20%
+// speech thresholds, and the nominal-vs-true badge assignment).
+//
+// Shape metrics are reported via b.ReportMetric so `go test -bench` output
+// doubles as the reproduction record consumed by EXPERIMENTS.md.
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"icares/internal/habitat"
+	"icares/internal/localization"
+	"icares/internal/proximity"
+	"icares/internal/radio"
+	"icares/internal/sociometry"
+	"icares/internal/speech"
+	"icares/internal/stats"
+)
+
+// The full 14-day mission is expensive (~45 s); build it once and share it
+// across benchmarks.
+var (
+	benchOnce sync.Once
+	benchM    *Mission
+	benchPipe *sociometry.Pipeline
+	benchErr  error
+)
+
+func benchSetup(b *testing.B) (*Mission, *sociometry.Pipeline) {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchM, benchErr = Simulate(Options{Seed: 42})
+		if benchErr != nil {
+			return
+		}
+		benchPipe, benchErr = benchM.Pipeline(TrueAssignment)
+		if benchErr != nil {
+			return
+		}
+		_, benchErr = benchPipe.RectifyClocks()
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchM, benchPipe
+}
+
+// BenchmarkFig2TransitionMatrix regenerates the room-passage matrix.
+func BenchmarkFig2TransitionMatrix(b *testing.B) {
+	_, p := benchSetup(b)
+	var m sociometry.TransitionMatrix
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m = p.Transitions(nil)
+	}
+	b.StopTimer()
+	ko := m.At(habitat.Kitchen, habitat.Office) + m.At(habitat.Office, habitat.Kitchen)
+	b.ReportMetric(float64(m.Total()), "passages")
+	b.ReportMetric(float64(ko), "kitchen-office")
+	top := m.TopPairs(1)
+	if len(top) == 0 {
+		b.Fatal("empty matrix")
+	}
+	pair := top[0]
+	isKO := (pair[0] == habitat.Kitchen && pair[1] == habitat.Office) ||
+		(pair[0] == habitat.Office && pair[1] == habitat.Kitchen)
+	if !isKO {
+		b.Logf("top pair is %v->%v, expected kitchen<->office", pair[0], pair[1])
+	}
+}
+
+// BenchmarkFig3Heatmap regenerates astronaut A's 28 cm heatmap.
+func BenchmarkFig3Heatmap(b *testing.B) {
+	_, p := benchSetup(b)
+	var total float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		grid, err := p.Heatmap("A", 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = grid.LogScaled().Total()
+	}
+	b.StopTimer()
+	b.ReportMetric(total, "log-dwell")
+}
+
+// BenchmarkFig4Walking regenerates the per-day walking fractions.
+func BenchmarkFig4Walking(b *testing.B) {
+	m, p := benchSetup(b)
+	var byName map[string]map[int]float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		byName = make(map[string]map[int]float64)
+		for _, n := range m.Names() {
+			byName[n] = p.WalkingByDay(n)
+		}
+	}
+	b.StopTimer()
+	// Shape: A lowest, {D,F} > {B,E} on the mission mean.
+	mean := func(n string) float64 {
+		var s float64
+		var c int
+		for _, v := range byName[n] {
+			s += v
+			c++
+		}
+		if c == 0 {
+			return 0
+		}
+		return s / float64(c)
+	}
+	b.ReportMetric(mean("A"), "walkA")
+	b.ReportMetric(mean("D"), "walkD")
+	b.ReportMetric(mean("E"), "walkE")
+	if !(mean("A") < mean("E") && mean("D") > mean("B")) {
+		b.Logf("walking ordering: A=%.3f B=%.3f D=%.3f E=%.3f F=%.3f",
+			mean("A"), mean("B"), mean("D"), mean("E"), mean("F"))
+	}
+}
+
+// BenchmarkFig5Timeline regenerates the day-4 timeline and the consolation
+// detection.
+func BenchmarkFig5Timeline(b *testing.B) {
+	_, p := benchSetup(b)
+	present := []string{"A", "B", "D", "E", "F"}
+	var found bool
+	var quieter bool
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tl := p.Timeline(4, 5*time.Minute)
+		_ = tl.WholeCrewGatherings(present)
+		f, ok := p.FindConsolation(4, present)
+		found = ok
+		quieter = ok && f.QuieterThanLunch
+	}
+	b.StopTimer()
+	b.ReportMetric(boolMetric(found), "consolation-found")
+	b.ReportMetric(boolMetric(quieter), "quieter-than-lunch")
+}
+
+// BenchmarkFig6Speech regenerates the per-day speech fractions.
+func BenchmarkFig6Speech(b *testing.B) {
+	m, p := benchSetup(b)
+	var slope, tau float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, n := range m.Names() {
+			_ = p.SpeechByDay(n)
+		}
+		slope, tau = p.SpeechTrend()
+	}
+	b.StopTimer()
+	b.ReportMetric(slope, "slope-per-day")
+	b.ReportMetric(tau, "mann-kendall-tau")
+}
+
+// BenchmarkTableICentrality regenerates the centrality table.
+func BenchmarkTableICentrality(b *testing.B) {
+	_, p := benchSetup(b)
+	var rows []sociometry.TableIRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = p.TableI()
+	}
+	b.StopTimer()
+	for _, r := range rows {
+		switch r.Name {
+		case "C":
+			b.ReportMetric(boolMetric(math.IsNaN(r.Company)), "C-company-na")
+			b.ReportMetric(r.Talking, "C-talking")
+		case "B":
+			b.ReportMetric(r.Company, "B-company")
+		}
+	}
+}
+
+// BenchmarkMissionStats regenerates the headline wear/stay/pairwise
+// statistics.
+func BenchmarkMissionStats(b *testing.B) {
+	_, p := benchSetup(b)
+	var wear sociometry.WearStats
+	var pw sociometry.PairwiseReport
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wear = p.Wear()
+		pw = p.Pairwise()
+		_ = p.Stays(30 * time.Minute)
+	}
+	b.StopTimer()
+	af := proximity.MakePair("A", "F")
+	de := proximity.MakePair("D", "E")
+	b.ReportMetric(wear.WornFraction, "worn-fraction")
+	b.ReportMetric(pw.All[af].Hours()-pw.All[de].Hours(), "AF-DE-gap-hours")
+}
+
+// BenchmarkAblationDwellFilter compares Fig. 2 with and without the 10 s
+// dwell filter (paper footnote 1: suppressing beacon bleed-through).
+func BenchmarkAblationDwellFilter(b *testing.B) {
+	_, p := benchSetup(b)
+	var with, without int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.SetMinDwell(localization.DefaultMinDwell)
+		with = p.Transitions(nil).Total()
+		p.SetMinDwell(0)
+		without = p.Transitions(nil).Total()
+	}
+	b.StopTimer()
+	p.SetMinDwell(localization.DefaultMinDwell)
+	b.ReportMetric(float64(with), "passages-filtered")
+	b.ReportMetric(float64(without), "passages-raw")
+	if without < with {
+		b.Log("dwell filter removed nothing: bleed-through not exercised")
+	}
+}
+
+// BenchmarkAblationShielding compares room-detection accuracy with the
+// metal-wall model against a free-space model (WallFactor 0).
+func BenchmarkAblationShielding(b *testing.B) {
+	hab := habitat.Standard()
+	rng := stats.NewRNG(99)
+	loc, err := localization.NewLocator(hab)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shielded, err := radio.NewChannel(hab, radio.BLE24, rng.Split())
+	if err != nil {
+		b.Fatal(err)
+	}
+	open := radio.ProfileFor(radio.BLE24)
+	open.WallFactor = 0
+	free, err := radio.NewChannelWithProfile(hab, open, rng.Split())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sites := hab.Beacons()
+	accuracy := func(ch *radio.Channel) float64 {
+		correct, total := 0, 0
+		probe := rng.Split()
+		for i := 0; i < 500; i++ {
+			ids := hab.RoomIDs()
+			room := ids[probe.Intn(len(ids))]
+			pos, err := hab.RandomPointIn(room, 0.5, probe)
+			if err != nil {
+				continue
+			}
+			var obs []localization.Obs
+			for _, s := range sites {
+				if tr := ch.Transmit(s.Pos, pos, 0); tr.Received {
+					obs = append(obs, localization.Obs{BeaconID: s.ID, RSSI: tr.RSSI})
+				}
+			}
+			if len(obs) == 0 {
+				continue
+			}
+			fix, err := loc.Locate(obs)
+			if err != nil {
+				continue
+			}
+			total++
+			if fix.Room == room {
+				correct++
+			}
+		}
+		if total == 0 {
+			return 0
+		}
+		return float64(correct) / float64(total)
+	}
+	var accShielded, accFree float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		accShielded = accuracy(shielded)
+		accFree = accuracy(free)
+	}
+	b.StopTimer()
+	b.ReportMetric(accShielded, "room-acc-shielded")
+	b.ReportMetric(accFree, "room-acc-freespace")
+	if accShielded <= accFree {
+		b.Log("shielding did not improve room detection")
+	}
+}
+
+// BenchmarkAblationTimesync compares cross-badge analyses on rectified vs
+// raw (skewed) clocks. Badge crystals at ~20 ppm accumulate tens of
+// seconds over the mission, which breaks the 15 s cross-badge
+// deduplication of infrared contacts: both badges record the same contact
+// but their timestamps land in different slots, double-counting
+// face-to-face time. Rectification restores the agreement.
+func BenchmarkAblationTimesync(b *testing.B) {
+	const days = 9
+	irHours := func(disable bool) float64 {
+		m, err := Simulate(Options{Seed: 77, Days: days})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := m.Pipeline(TrueAssignment)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.DisableRectification = disable
+		var total time.Duration
+		for _, d := range p.Pairwise().IR {
+			total += d
+		}
+		return total.Hours()
+	}
+	var rectified, raw float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rectified = irHours(false)
+		raw = irHours(true)
+	}
+	b.StopTimer()
+	b.ReportMetric(rectified, "ir-hours-rectified")
+	b.ReportMetric(raw, "ir-hours-raw-clocks")
+	if raw <= rectified {
+		b.Log("raw clocks did not inflate IR time; skew too small to matter")
+	}
+}
+
+// BenchmarkAblationSpeechThreshold sweeps the 60 dB / 20% boundary values
+// the paper "determined experimentally".
+func BenchmarkAblationSpeechThreshold(b *testing.B) {
+	m, p := benchSetup(b)
+	configs := []speech.Config{
+		{MinLoudDB: 50, MinFraction: 0.1},
+		{MinLoudDB: 60, MinFraction: 0.2}, // the paper's values
+		{MinLoudDB: 70, MinFraction: 0.4},
+	}
+	means := make([]float64, len(configs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for ci, cfg := range configs {
+			var sum float64
+			var n int
+			for _, name := range m.Names() {
+				frames := speech.FilterWorn(
+					speech.Frames(p.RecordsFor(name), cfg),
+					p.WornRanges(name),
+				)
+				sum += speech.Fraction(frames)
+				n++
+			}
+			means[ci] = sum / float64(n)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(means[0], "frac-loose")
+	b.ReportMetric(means[1], "frac-paper")
+	b.ReportMetric(means[2], "frac-strict")
+	if !(means[0] >= means[1] && means[1] >= means[2]) {
+		b.Fatalf("threshold sweep not monotone: %v", means)
+	}
+}
+
+// BenchmarkAblationAssignment measures the swap-day confusion: under the
+// nominal one-owner assignment, A's day-6 mobility is actually B's.
+func BenchmarkAblationAssignment(b *testing.B) {
+	m, pTrue := benchSetup(b)
+	pNominal, err := m.Pipeline(NominalAssignment)
+	if err != nil {
+		b.Fatal(err)
+	}
+	swapDay := m.Result().Assignment.SwapDay
+	var gap float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trueA := pTrue.WalkingByDay("A")[swapDay]
+		nomA := pNominal.WalkingByDay("A")[swapDay]
+		gap = nomA - trueA
+	}
+	b.StopTimer()
+	b.ReportMetric(gap, "swap-day-walk-gap")
+}
+
+// BenchmarkMissionSimulation measures the simulator itself on a 1-day run.
+func BenchmarkMissionSimulation(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := Simulate(Options{Seed: uint64(i), Days: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = m.Result().Dataset.TotalRecords()
+	}
+}
+
+func boolMetric(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,243 @@
+// Command badgectl inspects on-badge SD-card log files (.icr) — the format
+// cmd/icares writes with -out and a deployment would pull off physical
+// badges after a mission.
+//
+// Usage:
+//
+//	badgectl stats  <dir|file.icr>   per-badge record counts and time spans
+//	badgectl dump   <file.icr>       print records as text (use -n to limit)
+//	badgectl verify <dir|file.icr>   re-read everything, report corruption
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"icares/internal/record"
+	"icares/internal/simtime"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "badgectl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("badgectl", flag.ContinueOnError)
+	limit := fs.Int("n", 20, "dump: maximum records to print (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) < 2 {
+		return errors.New("usage: badgectl [-n N] stats|dump|verify <path>")
+	}
+	cmd, path := rest[0], rest[1]
+	switch cmd {
+	case "stats":
+		return forEachLog(path, statsOne)
+	case "dump":
+		return dumpOne(path, *limit)
+	case "verify":
+		return forEachLog(path, verifyOne)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// forEachLog applies fn to the file, or to every .icr file in a directory.
+func forEachLog(path string, fn func(string) error) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if !info.IsDir() {
+		return fn(path)
+	}
+	entries, err := os.ReadDir(path)
+	if err != nil {
+		return err
+	}
+	found := false
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".icr" {
+			continue
+		}
+		found = true
+		if err := fn(filepath.Join(path, e.Name())); err != nil {
+			return err
+		}
+	}
+	if !found {
+		return fmt.Errorf("no .icr files in %s", path)
+	}
+	return nil
+}
+
+func openLog(path string) (*record.LogReader, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	lr, err := record.NewLogReader(f)
+	if err != nil {
+		cerr := f.Close()
+		if cerr != nil {
+			return nil, nil, errors.Join(err, cerr)
+		}
+		return nil, nil, err
+	}
+	return lr, f.Close, nil
+}
+
+func statsOne(path string) (err error) {
+	lr, closeFn, err := openLog(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := closeFn(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+
+	counts := make(map[record.Kind]int)
+	var first, last time.Duration
+	n := 0
+	for {
+		rec, rerr := lr.Next()
+		if errors.Is(rerr, io.EOF) {
+			break
+		}
+		if rerr != nil {
+			return rerr
+		}
+		if n == 0 || rec.Local < first {
+			first = rec.Local
+		}
+		if rec.Local > last {
+			last = rec.Local
+		}
+		counts[rec.Kind]++
+		n++
+	}
+	fmt.Printf("%s: badge %d, %d records", filepath.Base(path), lr.BadgeID(), n)
+	if lr.Skipped() > 0 {
+		fmt.Printf(" (%d corrupt frames skipped)", lr.Skipped())
+	}
+	fmt.Println()
+	if n > 0 {
+		fmt.Printf("  span: day %d %s .. day %d %s\n",
+			simtime.DayOf(first), simtime.ClockString(first),
+			simtime.DayOf(last), simtime.ClockString(last))
+	}
+	kinds := make([]record.Kind, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		fmt.Printf("  %-9s %9d\n", k, counts[k])
+	}
+	return nil
+}
+
+func dumpOne(path string, limit int) (err error) {
+	lr, closeFn, err := openLog(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := closeFn(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	n := 0
+	for {
+		rec, rerr := lr.Next()
+		if errors.Is(rerr, io.EOF) {
+			break
+		}
+		if rerr != nil {
+			return rerr
+		}
+		fmt.Println(formatRecord(rec))
+		n++
+		if limit > 0 && n >= limit {
+			fmt.Printf("... (limited to %d; use -n 0 for all)\n", limit)
+			break
+		}
+	}
+	return nil
+}
+
+func formatRecord(r record.Record) string {
+	ts := fmt.Sprintf("d%02d %s", simtime.DayOf(r.Local), simtime.ClockString(r.Local))
+	switch r.Kind {
+	case record.KindAccel:
+		return fmt.Sprintf("%s accel   x=%d y=%d z=%d", ts, r.AX, r.AY, r.AZ)
+	case record.KindMic:
+		return fmt.Sprintf("%s mic     speech=%v loud=%.1fdB f0=%.0fHz frac=%.2f",
+			ts, r.SpeechDetected, r.LoudnessDB, r.FundamentalHz, r.SpeechFraction)
+	case record.KindBeacon:
+		return fmt.Sprintf("%s beacon  id=%d rssi=%.1f", ts, r.PeerID, r.RSSI)
+	case record.KindNeighbor:
+		return fmt.Sprintf("%s neighb  badge=%d rssi=%.1f", ts, r.PeerID, r.RSSI)
+	case record.KindIR:
+		return fmt.Sprintf("%s ir      badge=%d", ts, r.PeerID)
+	case record.KindEnv:
+		return fmt.Sprintf("%s env     %.1fC %.1fhPa %.0flux", ts, r.TempC, r.PressHPa, r.LightLux)
+	case record.KindWear:
+		return fmt.Sprintf("%s wear    worn=%v", ts, r.Worn)
+	case record.KindSync:
+		return fmt.Sprintf("%s sync    ref=%v", ts, r.RefTime)
+	case record.KindBattery:
+		return fmt.Sprintf("%s battery %.1f%%", ts, r.BatteryPct)
+	default:
+		return fmt.Sprintf("%s %v", ts, r.Kind)
+	}
+}
+
+func verifyOne(path string) (err error) {
+	lr, closeFn, err := openLog(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := closeFn(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	n := 0
+	outOfOrder := 0
+	var prev time.Duration
+	for {
+		rec, rerr := lr.Next()
+		if errors.Is(rerr, io.EOF) {
+			break
+		}
+		if rerr != nil {
+			return rerr
+		}
+		if n > 0 && rec.Local < prev {
+			outOfOrder++
+		}
+		prev = rec.Local
+		n++
+	}
+	status := "OK"
+	if lr.Skipped() > 0 {
+		status = fmt.Sprintf("%d corrupt frames", lr.Skipped())
+	}
+	fmt.Printf("%s: %d records, %d out-of-order timestamps, %s\n",
+		filepath.Base(path), n, outOfOrder, status)
+	return nil
+}

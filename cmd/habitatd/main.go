@@ -1,0 +1,149 @@
+// Command habitatd runs the mission support daemon over a simulated
+// mission: it replays the badge streams through the detector suite and
+// prints the alerts the crew would have received in real time, then
+// demonstrates the consensus-approval protocol and the day-12 stale-command
+// detection over the delayed mission-control link.
+//
+// Usage:
+//
+//	habitatd [-seed N] [-days N] [-max N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"icares"
+	"icares/internal/simtime"
+	"icares/internal/support"
+	"icares/internal/uplink"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "habitatd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("habitatd", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 42, "simulation seed")
+	days := fs.Int("days", 4, "mission length in days")
+	maxAlerts := fs.Int("max", 40, "maximum alerts to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	fmt.Printf("simulating %d mission days (seed %d)...\n", *days, *seed)
+	m, err := icares.Simulate(icares.Options{Seed: *seed, Days: *days})
+	if err != nil {
+		return err
+	}
+
+	daemon, replayer := m.SupportSystem()
+	printed := 0
+	daemon.OnAlert(func(a support.Alert) {
+		if printed >= *maxAlerts {
+			return
+		}
+		printed++
+		fmt.Printf("[day %2d %s] %-8s %-15s %s\n",
+			simtime.DayOf(a.At), simtime.ClockString(a.At), a.Severity, a.Kind, a.Message)
+	})
+
+	fmt.Println("replaying badge streams through the support daemon:")
+	n := replayer.Run(0, m.Horizon())
+	alerts := daemon.Alerts()
+	fmt.Printf("\n%d records replayed, %d alerts raised", n, len(alerts))
+	if len(alerts) > *maxAlerts {
+		fmt.Printf(" (%d shown)", *maxAlerts)
+	}
+	fmt.Println()
+
+	byKind := make(map[string]int)
+	for _, a := range alerts {
+		byKind[a.Kind]++
+	}
+	fmt.Println("alerts by kind:")
+	for _, kind := range []string{"inactivity", "quiet-crew", "battery", "hydration", "wear-compliance", "failover"} {
+		fmt.Printf("  %-15s %d\n", kind, byKind[kind])
+	}
+
+	demoConsensus(m)
+	demoDay12()
+	return nil
+}
+
+// demoConsensus walks one proposal through the council.
+func demoConsensus(m *icares.Mission) {
+	fmt.Println("\n--- consensus approval demo ---")
+	link := icares.MissionControlLink()
+	council := m.Council(link)
+	now := 5 * simtime.DayLength
+
+	p, err := council.Propose(now, "B", "disable IR sensing in the bedroom after 21:00")
+	if err != nil {
+		fmt.Println("propose:", err)
+		return
+	}
+	fmt.Printf("B proposes #%d: %s\n", p.ID, p.Change)
+	for _, voter := range []string{"A", "D", "E"} {
+		if err := council.Vote(now+time.Minute, p.ID, voter, true); err != nil {
+			fmt.Println("vote:", err)
+			return
+		}
+		fmt.Printf("%s votes yes (status: %v)\n", voter, p.Status())
+	}
+	// Mission control receives the proposal after the 20-minute delay and
+	// approves; the verdict takes another 20 minutes to come back.
+	inbox := link.Receive(uplink.MissionControl, now+21*time.Minute)
+	fmt.Printf("mission control receives %d message(s) after %v\n", len(inbox), link.Delay())
+	decisionAt := now + 42*time.Minute
+	if err := council.MissionControlDecision(decisionAt, p.ID, true); err != nil {
+		fmt.Println("mc decision:", err)
+		return
+	}
+	fmt.Printf("mission control approves at +%v -> status: %v\n",
+		(decisionAt - now).Round(time.Minute), p.Status())
+}
+
+// demoDay12 replays the day-12 incident: a stale command arriving after the
+// crew already acted.
+func demoDay12() {
+	fmt.Println("\n--- day-12 stale-command detection demo ---")
+	link := icares.MissionControlLink()
+	state := uplink.NewTopicState()
+	day12 := 11 * simtime.DayLength
+
+	if _, err := link.Send(day12, uplink.Message{
+		From: uplink.Habitat, Kind: uplink.Report, Topic: "experiment-7",
+		BasisVersion: state.Version("experiment-7"),
+		Body:         "protocol stalled, awaiting guidance",
+	}); err != nil {
+		fmt.Println("send:", err)
+		return
+	}
+	inbox := link.Receive(uplink.MissionControl, day12+20*time.Minute)
+	if _, err := link.Send(day12+20*time.Minute, uplink.Message{
+		From: uplink.MissionControl, Kind: uplink.Command, Topic: "experiment-7",
+		BasisVersion: inbox[0].BasisVersion,
+		Body:         "abort and restart with protocol B",
+	}); err != nil {
+		fmt.Println("send:", err)
+		return
+	}
+	// The crew cannot wait 40 minutes; they proceed with protocol A.
+	state.Advance("experiment-7")
+	fmt.Println("crew proceeds with protocol A (state v1)")
+
+	for _, cmd := range link.Receive(uplink.Habitat, day12+40*time.Minute) {
+		if c := state.Check(cmd); c != nil {
+			fmt.Printf("command %q flagged: based on v%d, habitat is at v%d\n",
+				cmd.Body, cmd.BasisVersion, c.CurrentVersion)
+			fmt.Println("-> surfaced to the crew as a conflict instead of being executed")
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Command icares runs the full 14-day ICAres-1 mission simulation
+// end-to-end, optionally persists the dataset as per-badge SD-card log
+// files, and prints the headline statistics.
+//
+// Usage:
+//
+//	icares [-seed N] [-days N] [-out DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"icares"
+	"icares/internal/record"
+	"icares/internal/simtime"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "icares:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("icares", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 42, "simulation seed")
+	days := fs.Int("days", 14, "mission length in days")
+	out := fs.String("out", "", "directory to write per-badge .icr log files (optional)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	fmt.Printf("ICAres-1 mission simulation — seed %d, %d days\n", *seed, *days)
+	start := time.Now()
+	m, err := icares.Simulate(icares.Options{Seed: *seed, Days: *days})
+	if err != nil {
+		return err
+	}
+	res := m.Result()
+	fmt.Printf("simulated in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	fmt.Println("dataset:")
+	fmt.Printf("  badges:   %d\n", len(res.Dataset.Badges()))
+	fmt.Printf("  records:  %d\n", res.Dataset.TotalRecords())
+	fmt.Printf("  encoded:  %.1f MiB\n", float64(res.Dataset.EncodedBytes())/(1<<20))
+
+	kindCounts := make(map[record.Kind]int)
+	for _, id := range res.Dataset.Badges() {
+		for _, r := range res.Dataset.Series(id).All() {
+			kindCounts[r.Kind]++
+		}
+	}
+	fmt.Println("  by kind:")
+	for _, k := range []record.Kind{
+		record.KindAccel, record.KindMic, record.KindBeacon, record.KindNeighbor,
+		record.KindIR, record.KindEnv, record.KindWear, record.KindSync, record.KindBattery,
+	} {
+		fmt.Printf("    %-9s %9d\n", k, kindCounts[k])
+	}
+
+	fmt.Println("\nscripted events:")
+	for _, ev := range res.Events {
+		fmt.Printf("  day %2d %s  %s\n", simtime.DayOf(ev.At), simtime.ClockString(ev.At), ev.Name)
+	}
+
+	if *out != "" {
+		if err := res.Dataset.Save(*out); err != nil {
+			return err
+		}
+		fmt.Printf("\ndataset written to %s\n", *out)
+	}
+	fmt.Println("\nrun `repro -exp all` to regenerate the paper's figures and tables")
+	return nil
+}

@@ -1,0 +1,371 @@
+// Command repro regenerates the paper's evaluation artifacts — every
+// figure and table of Section V plus the headline statistics of the text —
+// from a fresh simulated ICAres-1 mission.
+//
+// Usage:
+//
+//	repro [-exp fig2|fig3|fig4|fig5|fig6|table1|stats|report|all] [-seed N]
+//	      [-days N] [-view true|nominal]
+//
+// The -view flag selects the badge-assignment metadata: "nominal"
+// reproduces the paper's one-badge-one-owner confusion around the day-6
+// swap and the day-8 badge reuse; "true" uses the corrected mapping.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"icares"
+	"icares/internal/habitat"
+	"icares/internal/proximity"
+	"icares/internal/simtime"
+	"icares/internal/sociometry"
+	"icares/internal/survey"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig6|table1|stats|report|all")
+	seed := fs.Uint64("seed", 42, "simulation seed")
+	days := fs.Int("days", 14, "mission length in days")
+	view := fs.String("view", "true", "assignment view: true|nominal")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	av := icares.TrueAssignment
+	switch *view {
+	case "true":
+	case "nominal":
+		av = icares.NominalAssignment
+	default:
+		return fmt.Errorf("unknown view %q", *view)
+	}
+
+	fmt.Printf("simulating ICAres-1 (seed %d, %d days)...\n", *seed, *days)
+	start := time.Now()
+	m, err := icares.Simulate(icares.Options{Seed: *seed, Days: *days})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mission complete in %v: %d records, %.1f MiB\n\n",
+		time.Since(start).Round(time.Second),
+		m.Result().Dataset.TotalRecords(),
+		float64(m.Result().Dataset.EncodedBytes())/(1<<20))
+
+	pipe, err := m.Pipeline(av)
+	if err != nil {
+		return err
+	}
+
+	experiments := map[string]func(*icares.Mission, *sociometry.Pipeline) error{
+		"fig2":   fig2,
+		"fig3":   fig3,
+		"fig4":   fig4,
+		"fig5":   fig5,
+		"fig6":   fig6,
+		"table1": table1,
+		"stats":  headlineStats,
+		"report": writeReport,
+	}
+	if *exp == "all" {
+		for _, name := range []string{"fig2", "fig3", "fig4", "fig5", "fig6", "table1", "stats"} {
+			if err := experiments[name](m, pipe); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		return nil
+	}
+	fn, ok := experiments[*exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return fn(m, pipe)
+}
+
+func header(title string) {
+	fmt.Println(strings.Repeat("=", 72))
+	fmt.Println(title)
+	fmt.Println(strings.Repeat("=", 72))
+}
+
+// fig2 prints the room-transition matrix.
+func fig2(_ *icares.Mission, p *sociometry.Pipeline) error {
+	header("Fig. 2 — total passages from one room to another (>=10 s dwell)")
+	matrix := p.Transitions(nil)
+	fmt.Println(matrix)
+	top := matrix.TopPairs(5)
+	fmt.Println("top passages:")
+	for _, pair := range top {
+		fmt.Printf("  %-9s -> %-9s %d\n", pair[0], pair[1], matrix.At(pair[0], pair[1]))
+	}
+	ko := matrix.At(habitat.Kitchen, habitat.Office) + matrix.At(habitat.Office, habitat.Kitchen)
+	fmt.Printf("kitchen<->office total: %d of %d passages\n\n", ko, matrix.Total())
+	return nil
+}
+
+// fig3 renders astronaut A's position heatmap.
+func fig3(_ *icares.Mission, p *sociometry.Pipeline) error {
+	header("Fig. 3 — position heatmap of astronaut A (log scale)")
+	// Render on a coarser grid for the terminal; the 28 cm analysis grid
+	// is exercised by the benchmarks and tests.
+	grid, err := p.Heatmap("A", 0.5)
+	if err != nil {
+		return err
+	}
+	fmt.Println(grid.LogScaled().Render())
+	fine, err := p.Heatmap("A", 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("(analysis grid: %dx%d cells of %.2f m, total dwell %.1f h)\n",
+		fine.NX, fine.NY, fine.CellSize, fine.Total()/3600)
+	wa, _ := p.WallMassFraction("A", 0)
+	wd, _ := p.WallMassFraction("D", 0)
+	fmt.Printf("dwell mass within 1.2 m of a wall: A %.4f vs D %.4f — A keeps to room centers\n\n", wa, wd)
+	return nil
+}
+
+// fig4 prints the per-day walking fractions.
+func fig4(m *icares.Mission, p *sociometry.Pipeline) error {
+	header("Fig. 4 — fraction of recorded time spent walking (days 2-8)")
+	fmt.Printf("%4s", "day")
+	for _, n := range m.Names() {
+		fmt.Printf("%8s", n)
+	}
+	fmt.Println()
+	byName := make(map[string]map[int]float64)
+	for _, n := range m.Names() {
+		byName[n] = p.WalkingByDay(n)
+	}
+	last := lastDay(p)
+	if last > 8 {
+		last = 8
+	}
+	for day := 2; day <= last; day++ {
+		fmt.Printf("%4d", day)
+		for _, n := range m.Names() {
+			v, ok := byName[n][day]
+			if !ok {
+				fmt.Printf("%8s", "-")
+				continue
+			}
+			fmt.Printf("%8.3f", v)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	return nil
+}
+
+// fig5 prints the day-4 timeline and the consolation-meeting finding.
+func fig5(m *icares.Mission, p *sociometry.Pipeline) error {
+	header("Fig. 5 — day-4 timeline: location and speech (C leaves at 15:00)")
+	tl := p.Timeline(4, 5*time.Minute)
+	fmt.Print(tl.Render(12*time.Hour, 17*time.Hour))
+	fmt.Println("legend: k=kitchen o=office b=biolab w=workshop s=storage a=atrium")
+	fmt.Println("        d=bedroom l=airlock r=restroom g=gym .=no fix; UPPERCASE = speech")
+
+	present := []string{"A", "B", "D", "E", "F"}
+	if f, ok := p.FindConsolation(4, present); ok {
+		fmt.Printf("\nunplanned whole-crew meeting: %s %s-%s in the %v\n",
+			"day 4,", simtime.ClockString(simtime.TimeOfDay(f.Meeting.From)),
+			simtime.ClockString(simtime.TimeOfDay(f.Meeting.To)), f.Meeting.Room)
+		fmt.Printf("meeting loudness %.1f dB vs lunch %.1f dB -> quieter than lunch: %v\n\n",
+			f.MeetingLoud, f.LunchLoud, f.QuieterThanLunch)
+	} else {
+		fmt.Println("\nno consolation meeting detected")
+	}
+	return nil
+}
+
+// fig6 prints the per-day speech fractions.
+func fig6(m *icares.Mission, p *sociometry.Pipeline) error {
+	header("Fig. 6 — fraction of 15 s intervals with detected speech (60 dB, >=20%)")
+	fmt.Printf("%4s", "day")
+	for _, n := range m.Names() {
+		fmt.Printf("%8s", n)
+	}
+	fmt.Println()
+	byName := make(map[string]map[int]float64)
+	for _, n := range m.Names() {
+		byName[n] = p.SpeechByDay(n)
+	}
+	for day := 2; day <= lastDay(p); day++ {
+		fmt.Printf("%4d", day)
+		for _, n := range m.Names() {
+			v, ok := byName[n][day]
+			if !ok {
+				fmt.Printf("%8s", "-")
+				continue
+			}
+			fmt.Printf("%8.3f", v)
+		}
+		fmt.Println()
+	}
+	slope, tau := p.SpeechTrend()
+	fmt.Printf("crew-mean trend: slope %+.4f per day, Mann-Kendall tau %+.2f\n\n", slope, tau)
+	return nil
+}
+
+// table1 prints the centrality table.
+func table1(m *icares.Mission, p *sociometry.Pipeline) error {
+	header("Table I — normalized crew parameters")
+	fmt.Printf("%4s %9s %10s %9s %9s\n", "id", "company", "authority", "talking", "walking")
+	for _, row := range p.TableI() {
+		fmt.Printf("%4s %9s %10s %9.2f %9.2f\n",
+			row.Name, naf(row.Company), naf(row.Authority), row.Talking, row.Walking)
+	}
+	fmt.Println()
+	return nil
+}
+
+func naf(v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// headlineStats prints the text's quantitative claims.
+func headlineStats(m *icares.Mission, p *sociometry.Pipeline) error {
+	header("Headline statistics (Section V text)")
+	w := p.Wear()
+	fmt.Printf("dataset: %d records, %.1f MiB\n",
+		m.Result().Dataset.TotalRecords(), float64(w.TotalBytes)/(1<<20))
+	fmt.Printf("badge worn: %.0f%% of daytime; active: %.0f%% of daytime\n",
+		100*w.WornFraction, 100*w.ActiveFraction)
+	days := make([]int, 0, len(w.ByDay))
+	for d := range w.ByDay {
+		days = append(days, d)
+	}
+	sort.Ints(days)
+	fmt.Print("worn by day:")
+	for _, d := range days {
+		fmt.Printf(" %d:%.0f%%", d, 100*w.ByDay[d])
+	}
+	fmt.Println()
+
+	fmt.Println("\nstay durations (work sessions >= 30 min):")
+	for _, s := range p.Stays(30 * time.Minute) {
+		fmt.Printf("  %-9s %3d stays, mean %6s, median %6s\n",
+			s.Room, s.Stays, s.Mean.Round(time.Minute), s.Median.Round(time.Minute))
+	}
+
+	pw := p.Pairwise()
+	af := proximity.MakePair("A", "F")
+	de := proximity.MakePair("D", "E")
+	fmt.Printf("\npairwise: A-F all %s / private %s;  D-E all %s / private %s\n",
+		pw.All[af].Round(time.Minute), pw.Private[af].Round(time.Minute),
+		pw.All[de].Round(time.Minute), pw.Private[de].Round(time.Minute))
+	fmt.Printf("A-F exceed D-E by %s (all) and %s (private)\n",
+		(pw.All[af] - pw.All[de]).Round(time.Minute),
+		(pw.Private[af] - pw.Private[de]).Round(time.Minute))
+
+	// Environment: the sensed warmest room (paper: the kitchen, "the
+	// cosiest room with the highest temperatures").
+	if warm, ok := p.WarmestRoom(30); ok {
+		fmt.Printf("\nsensed warmest room: %v (%.1f C over %d samples)\n",
+			warm.Room, warm.MeanTempC, warm.Samples)
+	}
+
+	// Voice demographics (3 women, 3 men in the crew).
+	share := p.VoiceGenderShare()
+	fmt.Printf("voice gender split of detected speech: %.0f%% female / %.0f%% male (%d frames)\n",
+		100*share.FemaleFraction(), 100*(1-share.FemaleFraction()), share.Total())
+
+	// Communities on the co-presence graph, keeping only strong ties
+	// (at least half the strongest pair) so meal-time contact does not
+	// glue the whole crew together.
+	var maxPair time.Duration
+	for _, d := range pw.All {
+		if d > maxPair {
+			maxPair = d
+		}
+	}
+	fmt.Printf("co-presence communities (ties >= %s):", (maxPair / 2).Round(time.Hour))
+	for _, g := range p.Communities(maxPair / 2) {
+		fmt.Printf(" %v", g)
+	}
+	fmt.Println()
+
+	// Mobility around C's death: the paper found day 3 "relatively calm".
+	fmt.Println("\nroom-change rate per tracked hour (crew mean):")
+	rateDays := map[int]float64{}
+	rateCounts := map[int]int{}
+	for _, n := range m.Names() {
+		for d, v := range p.ChangeRateByDay(n) {
+			rateDays[d] += v
+			rateCounts[d]++
+		}
+	}
+	for day := 2; day <= lastDay(p) && day <= 6; day++ {
+		if rateCounts[day] == 0 {
+			continue
+		}
+		fmt.Printf("  day %d: %.2f/h\n", day, rateDays[day]/float64(rateCounts[day]))
+	}
+
+	// Survey cross-validation.
+	col, err := m.Surveys()
+	if err != nil {
+		return err
+	}
+	sensed := crewMeanSpeechByDay(m, p)
+	if r, n, err := surveyCorr(col, sensed); err == nil {
+		fmt.Printf("\nsurvey cross-validation: sensed speech vs reported satisfaction r=%.2f over %d days\n", r, n)
+	}
+
+	// Mission events, for the record.
+	fmt.Println("\nscripted events:")
+	for _, ev := range m.Result().Events {
+		fmt.Printf("  day %2d %s  %s\n", simtime.DayOf(ev.At), simtime.ClockString(ev.At), ev.Name)
+	}
+	fmt.Println()
+	return nil
+}
+
+// writeReport emits the full markdown mission report to REPORT.md.
+func writeReport(_ *icares.Mission, p *sociometry.Pipeline) error {
+	const path = "REPORT.md"
+	if err := os.WriteFile(path, []byte(p.Report()), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("mission report written to %s\n", path)
+	return nil
+}
+
+func lastDay(p *sociometry.Pipeline) int { return p.Source().LastDay }
+
+func surveyCorr(col *survey.Collection, sensed map[int]float64) (float64, int, error) {
+	return survey.CrossValidate(col, survey.Satisfaction, sensed)
+}
+
+func crewMeanSpeechByDay(m *icares.Mission, p *sociometry.Pipeline) map[int]float64 {
+	sums := make(map[int]float64)
+	counts := make(map[int]int)
+	for _, n := range m.Names() {
+		for d, v := range p.SpeechByDay(n) {
+			sums[d] += v
+			counts[d]++
+		}
+	}
+	out := make(map[int]float64, len(sums))
+	for d, s := range sums {
+		out[d] = s / float64(counts[d])
+	}
+	return out
+}

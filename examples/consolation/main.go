@@ -1,0 +1,60 @@
+// Consolation: reproduce the paper's day-4 narrative — astronaut C's
+// emulated death at 15:00, the unplanned consolation gathering the badges
+// detected in the kitchen around 15:20, and its hushed tone compared to
+// lunch (Fig. 5).
+//
+//	go run ./examples/consolation
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"icares"
+	"icares/internal/simtime"
+)
+
+func main() {
+	// Simulate through day 4.
+	m, err := icares.Simulate(icares.Options{Seed: 42, Days: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipe, err := m.Pipeline(icares.TrueAssignment)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("day-4 afternoon timeline (12:00-17:00, 5-minute bins):")
+	tl := pipe.Timeline(4, 5*time.Minute)
+	fmt.Print(tl.Render(12*time.Hour, 17*time.Hour))
+	fmt.Println("rooms: k=kitchen o=office b=biolab w=workshop s=storage a=atrium")
+	fmt.Println("       UPPERCASE = speech detected in the bin")
+
+	present := []string{"A", "B", "D", "E", "F"} // C is gone by the afternoon
+	finding, ok := pipe.FindConsolation(4, present)
+	if !ok {
+		log.Fatal("no unplanned whole-crew meeting found on day 4")
+	}
+	fmt.Printf("\nunplanned gathering: %s-%s in the %v with %d participants\n",
+		simtime.ClockString(simtime.TimeOfDay(finding.Meeting.From)),
+		simtime.ClockString(simtime.TimeOfDay(finding.Meeting.To)),
+		finding.Meeting.Room, len(finding.Meeting.Participants))
+	fmt.Printf("speech loudness: %.1f dB during the gathering vs %.1f dB at lunch\n",
+		finding.MeetingLoud, finding.LunchLoud)
+	if finding.QuieterThanLunch {
+		fmt.Println("-> the conversation was clearly quieter than lunch, as the paper reports")
+	}
+
+	// C dominated conversations while alive.
+	fmt.Println("\nspeech fraction on days 2-4 (C was \"an energetic conversationalist\"):")
+	for _, name := range m.Names() {
+		byDay := pipe.SpeechByDay(name)
+		fmt.Printf("  %s:", name)
+		for day := 2; day <= 4; day++ {
+			fmt.Printf("  day%d %.3f", day, byDay[day])
+		}
+		fmt.Println()
+	}
+}

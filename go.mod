@@ -1,0 +1,3 @@
+module icares
+
+go 1.22

@@ -1,0 +1,181 @@
+// Package icares is the top-level facade of the ICAres-1 reproduction: a
+// distributed sociometric sensing system for space habitats, built after
+// "30 Sensors to Mars: Toward Distributed Support Systems for Astronauts in
+// Space Habitats" (ICDCS 2019).
+//
+// The package ties the three layers of the repository together:
+//
+//   - the simulation substrate (internal/habitat, radio, beacon, badge,
+//     crew, mission) that replaces the physical deployment;
+//   - the offline sociometric backend (internal/sociometry and the
+//     localization/speech/activity/proximity/timesync packages it
+//     composes) that reproduces the paper's figures and tables;
+//   - the real-time mission support system (internal/support,
+//     internal/uplink) sketched in the paper's Section VI.
+//
+// Quickstart:
+//
+//	m, err := icares.Simulate(icares.Options{Seed: 42, Days: 3})
+//	if err != nil { ... }
+//	pipe, err := m.Pipeline(icares.TrueAssignment)
+//	if err != nil { ... }
+//	fmt.Println(pipe.Transitions(nil))
+package icares
+
+import (
+	"fmt"
+	"time"
+
+	"icares/internal/mission"
+	"icares/internal/sociometry"
+	"icares/internal/stats"
+	"icares/internal/store"
+	"icares/internal/support"
+	"icares/internal/survey"
+	"icares/internal/uplink"
+)
+
+// Options configures a simulated mission.
+type Options struct {
+	// Seed makes the run reproducible; equal seeds give identical
+	// datasets.
+	Seed uint64
+	// Days is the mission length (default: the full 14-day ICAres-1).
+	Days int
+	// CollectTruth retains ground-truth behaviour samples for validation.
+	CollectTruth bool
+}
+
+// AssignmentView selects which badge-to-astronaut mapping an analysis uses.
+type AssignmentView int
+
+// Assignment views.
+const (
+	// TrueAssignment is what actually happened, including the day-6 A-B
+	// badge swap and F's reuse of C's badge from day 8.
+	TrueAssignment AssignmentView = iota + 1
+	// NominalAssignment is the one-badge-one-owner deployment metadata the
+	// paper's algorithms initially assumed — analysis under this view
+	// reproduces the swap/reuse confusion.
+	NominalAssignment
+)
+
+// Mission is a completed simulated mission plus its analysis entry points.
+type Mission struct {
+	res *mission.Result
+}
+
+// Simulate runs the ICAres-1 scenario and returns the mission dataset.
+func Simulate(opts Options) (*Mission, error) {
+	sc := mission.DefaultScenario(opts.Seed)
+	if opts.Days > 0 {
+		sc.Days = opts.Days
+	}
+	res, err := mission.Run(mission.Config{
+		Seed:         opts.Seed,
+		Scenario:     sc,
+		CollectTruth: opts.CollectTruth,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("simulate: %w", err)
+	}
+	return &Mission{res: res}, nil
+}
+
+// Result exposes the underlying mission result (dataset, habitat, truth,
+// events).
+func (m *Mission) Result() *mission.Result { return m.res }
+
+// Names returns the crew names.
+func (m *Mission) Names() []string { return mission.Names() }
+
+// VoiceProfiles returns each astronaut's typical voice fundamental, the
+// speaker-attribution input.
+func (m *Mission) VoiceProfiles() map[string]float64 {
+	out := make(map[string]float64, len(m.res.Roster))
+	for _, r := range m.res.Roster {
+		out[r.Name] = r.Traits.F0Hz
+	}
+	return out
+}
+
+// Pipeline builds the sociometric analysis pipeline over the mission's
+// dataset under the chosen assignment view.
+//
+// Rectification mutates the dataset timestamps in place on first use, so
+// build pipelines for different views from different Simulate runs, or
+// reuse a single pipeline.
+func (m *Mission) Pipeline(view AssignmentView) (*sociometry.Pipeline, error) {
+	badgeFor := m.res.Assignment.TrueBadgeFor
+	if view == NominalAssignment {
+		badgeFor = m.res.Assignment.NominalBadgeFor
+	}
+	return sociometry.NewPipeline(sociometry.Source{
+		Habitat:       m.res.Habitat,
+		Dataset:       m.res.Dataset,
+		Names:         mission.Names(),
+		BadgeFor:      badgeFor,
+		VoiceProfiles: m.VoiceProfiles(),
+		FirstDay:      m.res.Config.FirstDataDay,
+		LastDay:       m.res.Config.Scenario.Days,
+	})
+}
+
+// SupportSystem assembles the real-time mission support daemon with the
+// full detector suite, a backup-badge pool, and a replayer that streams
+// this mission's dataset through it.
+func (m *Mission) SupportSystem() (*support.Daemon, *support.Replayer) {
+	d := support.NewDaemon()
+	d.Register(support.NewInactivityDetector())
+	d.Register(support.NewQuietCrewDetector())
+	d.Register(support.NewBatteryDetector())
+	d.Register(support.NewHydrationDetector(m.res.Habitat, 0))
+	d.Register(support.NewWearComplianceDetector())
+
+	spares := make([]store.BadgeID, 0, mission.BackupBadgeCount)
+	for i := uint16(0); i < mission.BackupBadgeCount; i++ {
+		spares = append(spares, store.BadgeID(mission.FirstBackupBadge+i))
+	}
+	pool := support.NewBadgePool(spares)
+	assignment := m.res.Assignment
+	lastDay := m.res.Config.Scenario.Days
+	d.Register(support.NewFailover(d.Health(), pool, func(id store.BadgeID) (string, bool) {
+		return assignment.TrueWearerOf(id, lastDay)
+	}))
+
+	replayer := support.NewReplayer(d, m.res.Dataset, func(id store.BadgeID, day int) string {
+		w, _ := assignment.TrueWearerOf(id, day)
+		return w
+	})
+	return d, replayer
+}
+
+// MissionControlLink returns a fresh Earth<->habitat link with the
+// ICAres-1 20-minute one-way delay.
+func MissionControlLink() *uplink.Link {
+	return uplink.NewLink(uplink.DefaultDelay)
+}
+
+// Council creates the consensus-approval body over this mission's crew and
+// the given link (nil for autonomous mode).
+func (m *Mission) Council(link *uplink.Link) *support.Council {
+	return support.NewCouncil(mission.Names(), link)
+}
+
+// Surveys generates the scripted evening self-reports for this mission —
+// the classic instrument the sensing results are cross-validated against.
+func (m *Mission) Surveys() (*survey.Collection, error) {
+	sc := m.res.Config.Scenario
+	model := survey.MoodModel{
+		TrendFor: sc.TalkTrend,
+		DeathDay: sc.DeathDay,
+		Noise:    0.4,
+	}
+	rngSeed := m.res.Config.Seed ^ 0x5157
+	return model.Generate(mission.Names(), m.res.Config.FirstDataDay, sc.Days, stats.NewRNG(rngSeed))
+}
+
+// Horizon returns the end of the mission data period.
+func (m *Mission) Horizon() time.Duration {
+	return time.Duration(m.res.Config.Scenario.Days) * 24 * time.Hour
+}

@@ -1,0 +1,115 @@
+package badge
+
+import (
+	"time"
+
+	"icares/internal/habitat"
+	"icares/internal/radio"
+	"icares/internal/stats"
+)
+
+// Network coordinates the badge-to-badge channels: periodic 868 MHz
+// neighbour announcements (each badge hears the others with an RSSI that
+// reflects distance and walls) and infrared face-to-face detection between
+// worn badges.
+type Network struct {
+	ch868 *radio.Channel
+	ir    *radio.IRLink
+	rng   *stats.RNG
+
+	badges []*Badge
+
+	// AnnounceEvery is the 868 MHz announcement period.
+	AnnounceEvery time.Duration
+	// IREvery is the IR detection period.
+	IREvery time.Duration
+	// TxPowerDBm is the badges' 868 MHz transmit power.
+	TxPowerDBm float64
+
+	last868 time.Duration
+	lastIR  time.Duration
+	started bool
+}
+
+// NewNetwork builds the badge network over a habitat.
+func NewNetwork(hab *habitat.Habitat, rng *stats.RNG) (*Network, error) {
+	ch, err := radio.NewChannel(hab, radio.Sub868, rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	ir, err := radio.NewIRLink(hab, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{
+		ch868:         ch,
+		ir:            ir,
+		rng:           rng,
+		AnnounceEvery: 30 * time.Second,
+		IREvery:       15 * time.Second,
+		TxPowerDBm:    0,
+	}, nil
+}
+
+// Channel868 exposes the sub-GHz channel (for fault injection in tests).
+func (n *Network) Channel868() *radio.Channel { return n.ch868 }
+
+// Add registers a badge with the network.
+func (n *Network) Add(b *Badge) {
+	n.badges = append(n.badges, b)
+}
+
+// Tick runs any due announcement and IR rounds at virtual time now.
+func (n *Network) Tick(now time.Duration) {
+	if !n.started {
+		n.started = true
+		n.last868 = now
+		n.lastIR = now
+		return
+	}
+	if now-n.last868 >= n.AnnounceEvery {
+		n.last868 = now
+		n.announceRound(now)
+	}
+	if now-n.lastIR >= n.IREvery {
+		n.lastIR = now
+		n.irRound(now)
+	}
+}
+
+// announceRound lets every live badge broadcast once; every other live
+// badge that decodes the packet records a neighbour observation.
+func (n *Network) announceRound(now time.Duration) {
+	for _, tx := range n.badges {
+		if tx.Failed() {
+			continue
+		}
+		for _, rx := range n.badges {
+			if rx == tx || rx.Failed() {
+				continue
+			}
+			tr := n.ch868.Transmit(tx.Pos(), rx.Pos(), n.TxPowerDBm)
+			if tr.Received {
+				rx.RecordNeighbor(now, tx.ID(), tr.RSSI)
+			}
+		}
+	}
+}
+
+// irRound detects mutual face-to-face contacts between worn badges.
+func (n *Network) irRound(now time.Duration) {
+	for i, a := range n.badges {
+		if a.Failed() || !a.Worn() {
+			continue
+		}
+		for _, b := range n.badges[i+1:] {
+			if b.Failed() || !b.Worn() {
+				continue
+			}
+			if n.ir.Detect(a.Pos(), a.Heading(), b.Pos(), b.Heading()) {
+				a.RecordIR(now, b.ID())
+				b.RecordIR(now, a.ID())
+			}
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package habitat
+
+import (
+	"errors"
+	"fmt"
+
+	"icares/internal/geometry"
+)
+
+// Builder constructs custom floor plans — the paper's modularity
+// requirement ("software and hardware architectures of designed
+// distributed systems need to be modular and easily configurable") and the
+// map input that state-of-the-art indoor localization needs at deployment
+// time. Rooms are axis-aligned rectangles; doors connect rooms whose
+// bounds share a wall segment; walls with doorway gaps and beacon sites
+// are derived exactly as in the Standard layout.
+type Builder struct {
+	rooms   []Room
+	byID    map[RoomID]bool
+	doors   []Door
+	beacons []BeaconSite
+	errs    []error
+}
+
+// Builder errors.
+var (
+	ErrDuplicateRoom   = errors.New("habitat: duplicate room id")
+	ErrRoomOverlap     = errors.New("habitat: rooms overlap")
+	ErrNoSharedWall    = errors.New("habitat: rooms share no wall")
+	ErrDuplicateBeacon = errors.New("habitat: duplicate beacon id")
+	ErrBeaconPlacement = errors.New("habitat: beacon outside its room")
+	ErrEmptyPlan       = errors.New("habitat: no rooms")
+)
+
+// NewBuilder starts an empty plan.
+func NewBuilder() *Builder {
+	return &Builder{byID: make(map[RoomID]bool)}
+}
+
+// AddRoom adds a rectangular module. Rooms must not overlap (shared
+// boundaries are fine).
+func (b *Builder) AddRoom(id RoomID, min, max geometry.Point) *Builder {
+	if b.byID[id] {
+		b.errs = append(b.errs, fmt.Errorf("%w: %v", ErrDuplicateRoom, id))
+		return b
+	}
+	bounds := geometry.NewRect(min, max)
+	if bounds.Area() <= 0 {
+		b.errs = append(b.errs, fmt.Errorf("habitat: room %v has no area", id))
+		return b
+	}
+	for _, r := range b.rooms {
+		if rectsOverlap(r.Bounds, bounds) {
+			b.errs = append(b.errs, fmt.Errorf("%w: %v and %v", ErrRoomOverlap, r.ID, id))
+			return b
+		}
+	}
+	b.byID[id] = true
+	b.rooms = append(b.rooms, Room{ID: id, Name: id.String(), Bounds: bounds})
+	return b
+}
+
+// rectsOverlap reports strict interior overlap (touching edges allowed).
+func rectsOverlap(a, r geometry.Rect) bool {
+	return a.Min.X < r.Max.X && r.Min.X < a.Max.X &&
+		a.Min.Y < r.Max.Y && r.Min.Y < a.Max.Y
+}
+
+// AddDoor connects two rooms at the midpoint of their shared wall segment.
+func (b *Builder) AddDoor(a, c RoomID) *Builder {
+	ra, okA := b.room(a)
+	rc, okC := b.room(c)
+	if !okA || !okC {
+		b.errs = append(b.errs, fmt.Errorf("%w: door %v-%v", ErrUnknownRoom, a, c))
+		return b
+	}
+	at, ok := sharedWallMidpoint(ra.Bounds, rc.Bounds)
+	if !ok {
+		b.errs = append(b.errs, fmt.Errorf("%w: %v and %v", ErrNoSharedWall, a, c))
+		return b
+	}
+	b.doors = append(b.doors, Door{A: a, B: c, At: at})
+	return b
+}
+
+func (b *Builder) room(id RoomID) (Room, bool) {
+	for _, r := range b.rooms {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Room{}, false
+}
+
+// sharedWallMidpoint finds the midpoint of the overlap of two touching
+// rectangles' boundaries.
+func sharedWallMidpoint(a, c geometry.Rect) (geometry.Point, bool) {
+	const tol = 1e-9
+	// Vertical shared wall.
+	for _, x := range []float64{a.Max.X, a.Min.X} {
+		if absf(x-c.Min.X) < tol || absf(x-c.Max.X) < tol {
+			lo := maxf(a.Min.Y, c.Min.Y)
+			hi := minf(a.Max.Y, c.Max.Y)
+			if hi-lo > DoorWidth {
+				return geometry.Point{X: x, Y: (lo + hi) / 2}, true
+			}
+		}
+	}
+	// Horizontal shared wall.
+	for _, y := range []float64{a.Max.Y, a.Min.Y} {
+		if absf(y-c.Min.Y) < tol || absf(y-c.Max.Y) < tol {
+			lo := maxf(a.Min.X, c.Min.X)
+			hi := minf(a.Max.X, c.Max.X)
+			if hi-lo > DoorWidth {
+				return geometry.Point{X: (lo + hi) / 2, Y: y}, true
+			}
+		}
+	}
+	return geometry.Point{}, false
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// PlaceBeacon adds a beacon site; the position must lie inside the room.
+func (b *Builder) PlaceBeacon(id int, room RoomID, pos geometry.Point) *Builder {
+	for _, s := range b.beacons {
+		if s.ID == id {
+			b.errs = append(b.errs, fmt.Errorf("%w: %d", ErrDuplicateBeacon, id))
+			return b
+		}
+	}
+	r, ok := b.room(room)
+	if !ok {
+		b.errs = append(b.errs, fmt.Errorf("%w: beacon %d in %v", ErrUnknownRoom, id, room))
+		return b
+	}
+	if !r.Bounds.Contains(pos) {
+		b.errs = append(b.errs, fmt.Errorf("%w: %d at %v not in %v", ErrBeaconPlacement, id, pos, room))
+		return b
+	}
+	b.beacons = append(b.beacons, BeaconSite{ID: id, Pos: pos, Room: room})
+	return b
+}
+
+// Build validates and assembles the habitat: walls with doorway gaps are
+// derived from the rooms and doors like in the Standard layout.
+func (b *Builder) Build() (*Habitat, error) {
+	if len(b.errs) > 0 {
+		return nil, errors.Join(b.errs...)
+	}
+	if len(b.rooms) == 0 {
+		return nil, ErrEmptyPlan
+	}
+	h := &Habitat{byID: make(map[RoomID]int, len(b.rooms))}
+	for i, r := range b.rooms {
+		h.byID[r.ID] = i
+	}
+	h.rooms = append(h.rooms, b.rooms...)
+	h.doors = append(h.doors, b.doors...)
+	h.beacons = append(h.beacons, b.beacons...)
+	h.buildWalls()
+	bounds := b.rooms[0].Bounds
+	for _, r := range b.rooms[1:] {
+		bounds.Min.X = minf(bounds.Min.X, r.Bounds.Min.X)
+		bounds.Min.Y = minf(bounds.Min.Y, r.Bounds.Min.Y)
+		bounds.Max.X = maxf(bounds.Max.X, r.Bounds.Max.X)
+		bounds.Max.Y = maxf(bounds.Max.Y, r.Bounds.Max.Y)
+	}
+	h.bounds = bounds
+	return h, nil
+}

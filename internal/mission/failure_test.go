@@ -1,0 +1,86 @@
+package mission
+
+import (
+	"testing"
+
+	"icares/internal/record"
+	"icares/internal/store"
+)
+
+// Fault-injection tests: the mission must degrade gracefully, never break,
+// under lossy radios — "components of the habitat, and hence the system,
+// may fail" (Section VI).
+
+func runFaulty(t *testing.T, ble, sub float64) *Result {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("mission run in -short mode")
+	}
+	sc := DefaultScenario(31)
+	sc.Days = 2
+	res, err := Run(Config{
+		Seed: 31, Scenario: sc,
+		BLEDropProb: ble, Sub868DropProb: sub,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func countKind(res *Result, k record.Kind) int {
+	n := 0
+	for _, id := range res.Dataset.Badges() {
+		n += len(res.Dataset.Series(id).Kind(k))
+	}
+	return n
+}
+
+func TestLossyBLEDegradesGracefully(t *testing.T) {
+	clean := runFaulty(t, 0, 0)
+	lossy := runFaulty(t, 0.5, 0)
+	cb, lb := countKind(clean, record.KindBeacon), countKind(lossy, record.KindBeacon)
+	if lb >= cb {
+		t.Errorf("50%% BLE loss did not reduce beacon obs: %d vs %d", lb, cb)
+	}
+	// The badge still produces usable localization input: roughly half
+	// the observations survive, not none.
+	if lb < cb/4 {
+		t.Errorf("BLE loss removed too much: %d of %d", lb, cb)
+	}
+	// Other kinds are unaffected.
+	if countKind(lossy, record.KindMic) == 0 || countKind(lossy, record.KindAccel) == 0 {
+		t.Error("non-radio records vanished under BLE loss")
+	}
+}
+
+func TestLossy868DegradesGracefully(t *testing.T) {
+	clean := runFaulty(t, 0, 0)
+	lossy := runFaulty(t, 0, 0.7)
+	cn, ln := countKind(clean, record.KindNeighbor), countKind(lossy, record.KindNeighbor)
+	if ln >= cn {
+		t.Errorf("70%% 868 loss did not reduce neighbor obs: %d vs %d", ln, cn)
+	}
+	// Beacon traffic untouched.
+	if countKind(lossy, record.KindBeacon) == 0 {
+		t.Error("beacon obs vanished under 868 loss")
+	}
+}
+
+func TestTotalBLEOutageStillRunsMission(t *testing.T) {
+	res := runFaulty(t, 1.0, 0)
+	if got := countKind(res, record.KindBeacon); got != 0 {
+		t.Errorf("beacon obs under total outage: %d", got)
+	}
+	// Everything else continues: the mission dataset is still substantial.
+	if res.Dataset.TotalRecords() < 100_000 {
+		t.Errorf("dataset collapsed: %d records", res.Dataset.TotalRecords())
+	}
+	// Mic, accel, wear, sync all present for badge A.
+	s := res.Dataset.Series(store.BadgeID(BadgeA))
+	for _, k := range []record.Kind{record.KindMic, record.KindAccel, record.KindWear, record.KindSync} {
+		if len(s.Kind(k)) == 0 {
+			t.Errorf("no %v records under BLE outage", k)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package mission encodes the ICAres-1 scenario: the six-astronaut crew and
+// their documented traits, the 14-day schedule of 30-minute slots, the
+// scripted events (astronaut C's emulated death on day 4, the day-11 food
+// shortage, the day-12 mission-control reprimand, EVAs), badge assignments
+// including the swap and reuse incidents, and the simulation loop that runs
+// the crew engine, badges, beacons, and network together to produce a
+// complete mission dataset.
+package mission
+
+import (
+	"time"
+
+	"icares/internal/crew"
+	"icares/internal/store"
+)
+
+// Astronaut names. The paper anonymizes the crew as A-F; we keep that.
+const (
+	AstronautA = "A"
+	AstronautB = "B"
+	AstronautC = "C"
+	AstronautD = "D"
+	AstronautE = "E"
+	AstronautF = "F"
+)
+
+// Names lists the crew in order.
+func Names() []string {
+	return []string{AstronautA, AstronautB, AstronautC, AstronautD, AstronautE, AstronautF}
+}
+
+// Badge identities.
+const (
+	// BadgeA..BadgeF are the six personal badges (IDs match roster order).
+	BadgeA uint16 = 1 + iota
+	BadgeB
+	BadgeC
+	BadgeD
+	BadgeE
+	BadgeF
+	// ReferenceBadge is the permanently charged badge at the charging
+	// station that serves as the time source.
+	ReferenceBadge
+	// FirstBackupBadge..FirstBackupBadge+5 are the six redundant badges.
+	FirstBackupBadge
+)
+
+// BackupBadgeCount is the number of redundant badges provided to the crew.
+const BackupBadgeCount = 6
+
+// DefaultRoster returns the six ICAres-1 astronauts with traits tuned to
+// the paper's reported behaviour:
+//
+//   - A: visually impaired, corner-shy, lowest mobility, uses a screen
+//     reader (solo audible speech), close to F.
+//   - B: Mission Commander — desk-bound in the office but supervising
+//     everyone (highest company/centrality), moderate energy.
+//   - C: "an energetic conversationalist" — top talkativeness and top
+//     mobility; dies on day 4.
+//   - D, E: D energetic, E reserved (paper: "D and F were walking
+//     significantly more than B and E", "E was more reserved").
+//   - F: energetic, workshop-based, close to A; reuses C's badge later.
+func DefaultRoster() []crew.Roster {
+	return []crew.Roster{
+		{Name: AstronautA, Traits: crew.Traits{
+			Energy: 0.22, Talkativeness: 0.62, F0Hz: 208, LoudnessDB: 71,
+			CornerShy: true, WalkSpeed: 0.9, SelfTalk: 0.7,
+		}},
+		{Name: AstronautB, Traits: crew.Traits{
+			Energy: 0.38, Talkativeness: 0.58, F0Hz: 122, LoudnessDB: 73,
+		}},
+		{Name: AstronautC, Traits: crew.Traits{
+			Energy: 0.95, Talkativeness: 0.97, F0Hz: 136, LoudnessDB: 74,
+		}},
+		{Name: AstronautD, Traits: crew.Traits{
+			Energy: 0.72, Talkativeness: 0.60, F0Hz: 221, LoudnessDB: 72,
+		}},
+		{Name: AstronautE, Traits: crew.Traits{
+			Energy: 0.40, Talkativeness: 0.52, F0Hz: 112, LoudnessDB: 71,
+		}},
+		{Name: AstronautF, Traits: crew.Traits{
+			Energy: 0.75, Talkativeness: 0.78, F0Hz: 196, LoudnessDB: 73,
+		}},
+	}
+}
+
+// DefaultAffinity returns the pairwise conversation multipliers: A and F
+// were notably close (the paper: "A and F talked privately with each other
+// for about 5 h more than D and E"), D and E notably distant.
+func DefaultAffinity() map[[2]string]float64 {
+	return map[[2]string]float64{
+		{AstronautA, AstronautF}: 2.4,
+		{AstronautD, AstronautE}: 0.45,
+		{AstronautA, AstronautB}: 1.2, // office mates
+	}
+}
+
+// Assignment maps badges to wearers over mission time. Two views exist:
+// the nominal assignment (what the deployment metadata said) and the true
+// assignment (what actually happened), which differ during the incidents
+// the paper describes:
+//
+//   - On SwapDay, astronauts A and B accidentally swapped badges (A could
+//     not read the e-ink ID display).
+//   - From ReuseDay on, F's badge had failed and F wore the badge that had
+//     belonged to the deceased astronaut C.
+type Assignment struct {
+	// Swap and reuse incident parameters (mission days, 1-based).
+	SwapDay  int
+	ReuseDay int
+}
+
+// DefaultAssignment returns the ICAres-1 incident schedule: the A-B swap on
+// day 6 and F's reuse of C's badge from day 8.
+func DefaultAssignment() Assignment {
+	return Assignment{SwapDay: 6, ReuseDay: 8}
+}
+
+// nominalBadge is the fixed paperwork mapping.
+func nominalBadge(name string) store.BadgeID {
+	switch name {
+	case AstronautA:
+		return store.BadgeID(BadgeA)
+	case AstronautB:
+		return store.BadgeID(BadgeB)
+	case AstronautC:
+		return store.BadgeID(BadgeC)
+	case AstronautD:
+		return store.BadgeID(BadgeD)
+	case AstronautE:
+		return store.BadgeID(BadgeE)
+	case AstronautF:
+		return store.BadgeID(BadgeF)
+	default:
+		return 0
+	}
+}
+
+// NominalBadgeFor returns the badge the deployment metadata assigns to the
+// astronaut on the given day — one badge per owner, as the paper's
+// algorithms initially assumed.
+func (a Assignment) NominalBadgeFor(name string, day int) store.BadgeID {
+	return nominalBadge(name)
+}
+
+// TrueBadgeFor returns the badge the astronaut actually wore on the given
+// day (0 when they wore none, e.g. C after death).
+func (a Assignment) TrueBadgeFor(name string, day int) store.BadgeID {
+	switch {
+	case day == a.SwapDay && name == AstronautA:
+		return nominalBadge(AstronautB)
+	case day == a.SwapDay && name == AstronautB:
+		return nominalBadge(AstronautA)
+	case day >= a.ReuseDay && name == AstronautF:
+		return nominalBadge(AstronautC)
+	case day >= a.ReuseDay && name == AstronautC:
+		return 0 // C is dead and their badge is on F
+	}
+	return nominalBadge(name)
+}
+
+// TrueWearerOf inverts TrueBadgeFor for a given day.
+func (a Assignment) TrueWearerOf(id store.BadgeID, day int) (string, bool) {
+	for _, n := range Names() {
+		if a.TrueBadgeFor(n, day) == id {
+			return n, true
+		}
+	}
+	return "", false
+}
+
+// DeathTime is when astronaut C leaves the mission "as virtually dead":
+// day 4, 15:00.
+func DeathTime() time.Duration {
+	return 3*24*time.Hour + 15*time.Hour
+}

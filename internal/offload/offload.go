@@ -1,0 +1,258 @@
+// Package offload is the in-habitat data path between badges and the
+// support system's gateway. The ICAres-1 badges stored raw data on SD
+// cards for offline analysis; the paper's Section VI vision requires the
+// same records to reach a habitat server in (near) real time, over radios
+// that lose packets and through coverage gaps when the bearer roams.
+//
+// The protocol is deliberately simple and robust: badges buffer records,
+// ship them in sequence-numbered batches, and retransmit until
+// acknowledged (at-least-once); the gateway deduplicates by (badge,
+// sequence), so the server-side stream is exactly-once in effect. All
+// state fits a microcontroller: one counter, one pending-batch map.
+package offload
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"icares/internal/record"
+	"icares/internal/store"
+)
+
+// Batch is one transfer unit.
+type Batch struct {
+	Badge   store.BadgeID
+	Seq     uint64
+	Records []record.Record
+}
+
+// Transport delivers a batch toward the gateway and reports whether an
+// acknowledgement came back. Implementations model radio loss: a false
+// return means either the batch or its ack was lost — the sender cannot
+// tell which, which is exactly why the gateway must deduplicate.
+type Transport interface {
+	Deliver(Batch) (acked bool)
+}
+
+// TransportFunc adapts a function to Transport.
+type TransportFunc func(Batch) bool
+
+// Deliver implements Transport.
+func (f TransportFunc) Deliver(b Batch) bool { return f(b) }
+
+// Gateway is the habitat-side receiver: it forwards each batch's records
+// to the sink exactly once and acknowledges everything it hears, including
+// duplicates (the ack for the original may have been lost).
+// Deduplication and ordering state per badge: mark is the contiguous
+// high-water sequence (everything <= mark has been released to the sink),
+// held buffers out-of-order batches above the mark until the gap fills, so
+// the sink sees each badge's records exactly once and in sequence order.
+// Memory stays bounded by the uploader's MaxPending window.
+type Gateway struct {
+	sink func(store.BadgeID, []record.Record)
+	mark map[store.BadgeID]uint64
+	held map[store.BadgeID]map[uint64][]record.Record
+	// stats
+	batches, duplicates int
+}
+
+// ErrNilSink reports a gateway without a destination.
+var ErrNilSink = errors.New("offload: nil sink")
+
+// NewGateway builds a gateway forwarding to sink.
+func NewGateway(sink func(store.BadgeID, []record.Record)) (*Gateway, error) {
+	if sink == nil {
+		return nil, ErrNilSink
+	}
+	return &Gateway{
+		sink: sink,
+		mark: make(map[store.BadgeID]uint64),
+		held: make(map[store.BadgeID]map[uint64][]record.Record),
+	}, nil
+}
+
+// Offer processes one received batch and returns the acknowledgement.
+func (g *Gateway) Offer(b Batch) bool {
+	g.batches++
+	if g.isDuplicate(b) {
+		g.duplicates++
+		return true // re-ack: the first ack evidently got lost
+	}
+	g.accept(b)
+	return true
+}
+
+func (g *Gateway) isDuplicate(b Batch) bool {
+	if b.Seq <= g.mark[b.Badge] {
+		return true
+	}
+	_, ok := g.held[b.Badge][b.Seq]
+	return ok
+}
+
+func (g *Gateway) accept(b Batch) {
+	m := g.held[b.Badge]
+	if m == nil {
+		m = make(map[uint64][]record.Record)
+		g.held[b.Badge] = m
+	}
+	if b.Seq != g.mark[b.Badge]+1 {
+		m[b.Seq] = append([]record.Record{}, b.Records...)
+		return
+	}
+	// In-order: release it and any contiguous held successors.
+	g.mark[b.Badge] = b.Seq
+	g.sink(b.Badge, b.Records)
+	for {
+		recs, ok := m[g.mark[b.Badge]+1]
+		if !ok {
+			return
+		}
+		delete(m, g.mark[b.Badge]+1)
+		g.mark[b.Badge]++
+		g.sink(b.Badge, recs)
+	}
+}
+
+// Stats returns receive counters.
+func (g *Gateway) Stats() (batches, duplicates int) {
+	return g.batches, g.duplicates
+}
+
+// Uploader is the badge-side sender.
+type Uploader struct {
+	badge store.BadgeID
+	// BatchSize is the number of records per batch.
+	BatchSize int
+	// MaxPending bounds unacknowledged batches kept for retransmission;
+	// at the bound, new records keep buffering but no new batches form.
+	MaxPending int
+
+	buffer  []record.Record
+	pending map[uint64]Batch
+	nextSeq uint64
+
+	sent, retransmits int
+}
+
+// NewUploader builds an uploader for a badge.
+func NewUploader(badge store.BadgeID) *Uploader {
+	return &Uploader{
+		badge:      badge,
+		BatchSize:  64,
+		MaxPending: 32,
+		pending:    make(map[uint64]Batch),
+	}
+}
+
+// Enqueue buffers one record for upload.
+func (u *Uploader) Enqueue(r record.Record) {
+	u.buffer = append(u.buffer, r)
+}
+
+// Buffered returns how many records await batching.
+func (u *Uploader) Buffered() int { return len(u.buffer) }
+
+// Pending returns how many batches await acknowledgement.
+func (u *Uploader) Pending() int { return len(u.pending) }
+
+// Stats returns send counters.
+func (u *Uploader) Stats() (sent, retransmits int) {
+	return u.sent, u.retransmits
+}
+
+// TryFlush attempts one transfer round over the transport: it first
+// retransmits pending batches (oldest first), then forms and sends new
+// batches from the buffer. It returns the number of acks received. A badge
+// calls this whenever it believes it has gateway coverage (docked, or
+// passing the atrium); calling it without coverage is harmless — nothing
+// acks, everything stays pending.
+func (u *Uploader) TryFlush(t Transport) int {
+	if t == nil {
+		return 0
+	}
+	acked := 0
+	// Retransmit pending in sequence order for determinism.
+	seqs := make([]uint64, 0, len(u.pending))
+	for s := range u.pending {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, s := range seqs {
+		u.retransmits++
+		if t.Deliver(u.pending[s]) {
+			delete(u.pending, s)
+			acked++
+		}
+	}
+	// Form new batches.
+	for len(u.buffer) > 0 && len(u.pending) < u.MaxPending {
+		n := u.BatchSize
+		if n > len(u.buffer) {
+			n = len(u.buffer)
+		}
+		u.nextSeq++
+		b := Batch{
+			Badge:   u.badge,
+			Seq:     u.nextSeq,
+			Records: append([]record.Record{}, u.buffer[:n]...),
+		}
+		u.buffer = u.buffer[n:]
+		u.sent++
+		if t.Deliver(b) {
+			acked++
+		} else {
+			u.pending[b.Seq] = b
+		}
+	}
+	return acked
+}
+
+// LossyTransport wires an uploader to a gateway through uniform loss in
+// both directions — the reference fault model for tests and simulation.
+type LossyTransport struct {
+	Gateway *Gateway
+	// LossUp and LossDown are the batch and ack loss probabilities.
+	LossUp, LossDown float64
+	// Rand returns uniform values in [0,1).
+	Rand func() float64
+}
+
+// Deliver implements Transport.
+func (lt *LossyTransport) Deliver(b Batch) bool {
+	if lt.Gateway == nil {
+		return false
+	}
+	if lt.Rand != nil && lt.Rand() < lt.LossUp {
+		return false // batch lost in the air
+	}
+	ack := lt.Gateway.Offer(b)
+	if lt.Rand != nil && lt.Rand() < lt.LossDown {
+		return false // ack lost on the way back
+	}
+	return ack
+}
+
+// Drain runs flush rounds until the uploader is empty or maxRounds is
+// reached, returning the rounds used. It fails with ErrStalled if the
+// transport never delivers anything across an entire round (no coverage).
+func Drain(u *Uploader, t Transport, maxRounds int) (int, error) {
+	if maxRounds <= 0 {
+		maxRounds = 1000
+	}
+	for round := 1; round <= maxRounds; round++ {
+		acked := u.TryFlush(t)
+		if u.Buffered() == 0 && u.Pending() == 0 {
+			return round, nil
+		}
+		if acked == 0 && round > 1 && u.Buffered() == 0 && u.Pending() > 0 {
+			continue // keep retrying pending batches
+		}
+	}
+	return maxRounds, fmt.Errorf("offload: %w after %d rounds (pending %d, buffered %d)",
+		ErrStalled, maxRounds, u.Pending(), u.Buffered())
+}
+
+// ErrStalled reports a drain that never completed.
+var ErrStalled = errors.New("transfer stalled")

@@ -1,0 +1,264 @@
+// Package proximity derives the social-contact structure of the crew from
+// localization tracks and badge-to-badge observations: pairwise co-presence
+// time, "company" time (time spent accompanied — the basis of the paper's
+// Table I centrality column), meeting detection with group/private
+// classification, and infrared face-to-face contact time.
+package proximity
+
+import (
+	"sort"
+	"time"
+
+	"icares/internal/habitat"
+	"icares/internal/localization"
+)
+
+// Presence maps each person to their room-stay intervals (from
+// localization.RoomIntervals, rectified to mission time).
+type Presence map[string][]localization.Interval
+
+// Pair is an unordered pair of names (Pair[0] < Pair[1]).
+type Pair [2]string
+
+// MakePair normalizes an unordered pair.
+func MakePair(a, b string) Pair {
+	if a > b {
+		a, b = b, a
+	}
+	return Pair{a, b}
+}
+
+// event is a sweep-line event: someone enters or leaves a room.
+type event struct {
+	at    time.Duration
+	room  habitat.RoomID
+	name  string
+	enter bool
+}
+
+// sweep walks all presence changes in time order, invoking fn for every
+// homogeneous span [from, to) with the current room occupancy.
+func sweep(p Presence, fn func(from, to time.Duration, occupancy map[habitat.RoomID][]string)) {
+	var events []event
+	for name, ivs := range p {
+		for _, iv := range ivs {
+			if iv.Duration() <= 0 {
+				continue
+			}
+			events = append(events, event{at: iv.From, room: iv.Room, name: name, enter: true})
+			events = append(events, event{at: iv.To, room: iv.Room, name: name, enter: false})
+		}
+	}
+	if len(events) == 0 {
+		return
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		// Process leaves before enters at the same instant.
+		return !events[i].enter && events[j].enter
+	})
+
+	occ := make(map[habitat.RoomID]map[string]bool)
+	snapshot := func() map[habitat.RoomID][]string {
+		out := make(map[habitat.RoomID][]string, len(occ))
+		for room, people := range occ {
+			if len(people) == 0 {
+				continue
+			}
+			names := make([]string, 0, len(people))
+			for n := range people {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			out[room] = names
+		}
+		return out
+	}
+
+	i := 0
+	for i < len(events) {
+		at := events[i].at
+		// Apply all events at this instant.
+		for i < len(events) && events[i].at == at {
+			ev := events[i]
+			if occ[ev.room] == nil {
+				occ[ev.room] = make(map[string]bool)
+			}
+			if ev.enter {
+				occ[ev.room][ev.name] = true
+			} else {
+				delete(occ[ev.room], ev.name)
+			}
+			i++
+		}
+		if i < len(events) {
+			fn(at, events[i].at, snapshot())
+		}
+	}
+}
+
+// CompanyTime returns, per person, the total time spent in a room together
+// with at least one other tracked person — the paper's "centrality measured
+// as amount of time spent accompanied".
+func CompanyTime(p Presence) map[string]time.Duration {
+	out := make(map[string]time.Duration, len(p))
+	sweep(p, func(from, to time.Duration, occ map[habitat.RoomID][]string) {
+		span := to - from
+		for _, names := range occ {
+			if len(names) < 2 {
+				continue
+			}
+			for _, n := range names {
+				out[n] += span
+			}
+		}
+	})
+	return out
+}
+
+// PairTime returns, per unordered pair, the total co-presence time (same
+// room simultaneously).
+func PairTime(p Presence) map[Pair]time.Duration {
+	out := make(map[Pair]time.Duration)
+	sweep(p, func(from, to time.Duration, occ map[habitat.RoomID][]string) {
+		span := to - from
+		for _, names := range occ {
+			for i := 0; i < len(names); i++ {
+				for j := i + 1; j < len(names); j++ {
+					out[MakePair(names[i], names[j])] += span
+				}
+			}
+		}
+	})
+	return out
+}
+
+// PrivatePairTime returns co-presence time counted only while the pair was
+// alone together (exactly two people in the room) — the paper's "talked
+// privately with each other" comparison for A-F vs D-E.
+func PrivatePairTime(p Presence) map[Pair]time.Duration {
+	out := make(map[Pair]time.Duration)
+	sweep(p, func(from, to time.Duration, occ map[habitat.RoomID][]string) {
+		span := to - from
+		for _, names := range occ {
+			if len(names) != 2 {
+				continue
+			}
+			out[MakePair(names[0], names[1])] += span
+		}
+	})
+	return out
+}
+
+// Meeting is a maximal period with a fixed set of >= MinSize people in one
+// room.
+type Meeting struct {
+	Room         habitat.RoomID
+	From, To     time.Duration
+	Participants []string
+}
+
+// Duration returns the meeting length.
+func (m Meeting) Duration() time.Duration { return m.To - m.From }
+
+// Private reports whether the meeting had exactly two participants.
+func (m Meeting) Private() bool { return len(m.Participants) == 2 }
+
+// Meetings detects co-presence meetings: spans where a stable group of at
+// least minSize people shared a room for at least minDur. Membership
+// changes end a meeting and may start a new one.
+func Meetings(p Presence, minSize int, minDur time.Duration) []Meeting {
+	if minSize < 2 {
+		minSize = 2
+	}
+	var out []Meeting
+	open := make(map[habitat.RoomID]*Meeting)
+	sweep(p, func(from, to time.Duration, occ map[habitat.RoomID][]string) {
+		seen := make(map[habitat.RoomID]bool, len(occ))
+		for room, names := range occ {
+			seen[room] = true
+			cur := open[room]
+			if len(names) < minSize {
+				if cur != nil {
+					out = append(out, *cur)
+					delete(open, room)
+				}
+				continue
+			}
+			if cur != nil && sameNames(cur.Participants, names) {
+				cur.To = to
+				continue
+			}
+			if cur != nil {
+				out = append(out, *cur)
+			}
+			open[room] = &Meeting{
+				Room: room, From: from, To: to,
+				Participants: append([]string{}, names...),
+			}
+		}
+		for room, cur := range open {
+			if !seen[room] {
+				out = append(out, *cur)
+				delete(open, room)
+			}
+		}
+	})
+	for _, cur := range open {
+		out = append(out, *cur)
+	}
+	// Filter short meetings and order by start time.
+	kept := out[:0]
+	for _, m := range out {
+		if m.Duration() >= minDur {
+			kept = append(kept, m)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].From < kept[j].From })
+	return kept
+}
+
+func sameNames(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contact is one face-to-face IR detection between two people at an
+// instant (already mapped from badge IDs to wearers).
+type Contact struct {
+	At   time.Duration
+	A, B string
+}
+
+// IRPairTime converts IR contact events into pairwise face-to-face time,
+// crediting one detection period per contact.
+func IRPairTime(contacts []Contact, period time.Duration) map[Pair]time.Duration {
+	if period <= 0 {
+		period = 15 * time.Second
+	}
+	// Deduplicate contacts recorded by both badges within the same period.
+	type key struct {
+		slot int64
+		pair Pair
+	}
+	seen := make(map[key]bool)
+	out := make(map[Pair]time.Duration)
+	for _, c := range contacts {
+		k := key{slot: int64(c.At / period), pair: MakePair(c.A, c.B)}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out[k.pair] += period
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package proximity
+
+import (
+	"testing"
+	"time"
+
+	"icares/internal/habitat"
+	"icares/internal/localization"
+)
+
+func iv(room habitat.RoomID, fromSec, toSec int) localization.Interval {
+	return localization.Interval{
+		Room: room,
+		From: time.Duration(fromSec) * time.Second,
+		To:   time.Duration(toSec) * time.Second,
+	}
+}
+
+func TestMakePair(t *testing.T) {
+	if MakePair("B", "A") != (Pair{"A", "B"}) {
+		t.Error("pair not normalized")
+	}
+	if MakePair("A", "B") != MakePair("B", "A") {
+		t.Error("pair not symmetric")
+	}
+}
+
+func TestCompanyTime(t *testing.T) {
+	p := Presence{
+		"A": {iv(habitat.Kitchen, 0, 100)},
+		"B": {iv(habitat.Kitchen, 50, 150)},
+		"C": {iv(habitat.Office, 0, 150)}, // alone the whole time
+	}
+	got := CompanyTime(p)
+	if got["A"] != 50*time.Second {
+		t.Errorf("A company = %v", got["A"])
+	}
+	if got["B"] != 50*time.Second {
+		t.Errorf("B company = %v", got["B"])
+	}
+	if got["C"] != 0 {
+		t.Errorf("C company = %v", got["C"])
+	}
+}
+
+func TestCompanyTimeTriple(t *testing.T) {
+	p := Presence{
+		"A": {iv(habitat.Kitchen, 0, 60)},
+		"B": {iv(habitat.Kitchen, 0, 60)},
+		"C": {iv(habitat.Kitchen, 30, 60)},
+	}
+	got := CompanyTime(p)
+	if got["A"] != 60*time.Second || got["B"] != 60*time.Second {
+		t.Errorf("A/B company = %v/%v", got["A"], got["B"])
+	}
+	if got["C"] != 30*time.Second {
+		t.Errorf("C company = %v", got["C"])
+	}
+}
+
+func TestPairTime(t *testing.T) {
+	p := Presence{
+		"A": {iv(habitat.Kitchen, 0, 100), iv(habitat.Office, 100, 200)},
+		"B": {iv(habitat.Kitchen, 0, 50), iv(habitat.Office, 150, 200)},
+	}
+	got := PairTime(p)
+	want := 100 * time.Second // 50 kitchen + 50 office
+	if got[MakePair("A", "B")] != want {
+		t.Errorf("pair time = %v, want %v", got[MakePair("A", "B")], want)
+	}
+}
+
+func TestPrivatePairTime(t *testing.T) {
+	p := Presence{
+		"A": {iv(habitat.Kitchen, 0, 100)},
+		"B": {iv(habitat.Kitchen, 0, 100)},
+		"C": {iv(habitat.Kitchen, 50, 100)}, // third wheel after 50s
+	}
+	got := PrivatePairTime(p)
+	if got[MakePair("A", "B")] != 50*time.Second {
+		t.Errorf("private A-B = %v", got[MakePair("A", "B")])
+	}
+	// With C present it is a group, not a private meeting.
+	if got[MakePair("A", "C")] != 0 {
+		t.Errorf("private A-C = %v", got[MakePair("A", "C")])
+	}
+}
+
+func TestMeetingsDetection(t *testing.T) {
+	p := Presence{
+		"A": {iv(habitat.Kitchen, 0, 300)},
+		"B": {iv(habitat.Kitchen, 0, 300)},
+		"C": {iv(habitat.Kitchen, 100, 200)},
+	}
+	ms := Meetings(p, 2, 30*time.Second)
+	if len(ms) != 3 {
+		t.Fatalf("meetings = %+v", ms)
+	}
+	// Phase 1: A,B private. Phase 2: A,B,C group. Phase 3: A,B private.
+	if !ms[0].Private() || ms[1].Private() || !ms[2].Private() {
+		t.Errorf("privacy sequence wrong: %+v", ms)
+	}
+	if len(ms[1].Participants) != 3 {
+		t.Errorf("group meeting participants = %v", ms[1].Participants)
+	}
+	if ms[1].From != 100*time.Second || ms[1].To != 200*time.Second {
+		t.Errorf("group meeting span = %v..%v", ms[1].From, ms[1].To)
+	}
+}
+
+func TestMeetingsMinDuration(t *testing.T) {
+	p := Presence{
+		"A": {iv(habitat.Kitchen, 0, 10)},
+		"B": {iv(habitat.Kitchen, 0, 10)},
+	}
+	if ms := Meetings(p, 2, 30*time.Second); len(ms) != 0 {
+		t.Errorf("short meeting kept: %+v", ms)
+	}
+	if ms := Meetings(p, 2, 5*time.Second); len(ms) != 1 {
+		t.Errorf("meeting dropped: %+v", ms)
+	}
+}
+
+func TestMeetingsAcrossRooms(t *testing.T) {
+	p := Presence{
+		"A": {iv(habitat.Kitchen, 0, 100), iv(habitat.Office, 100, 200)},
+		"B": {iv(habitat.Kitchen, 0, 100), iv(habitat.Office, 100, 200)},
+	}
+	ms := Meetings(p, 2, 30*time.Second)
+	if len(ms) != 2 {
+		t.Fatalf("meetings = %+v", ms)
+	}
+	if ms[0].Room != habitat.Kitchen || ms[1].Room != habitat.Office {
+		t.Errorf("rooms = %v, %v", ms[0].Room, ms[1].Room)
+	}
+}
+
+func TestMeetingsEmptyPresence(t *testing.T) {
+	if ms := Meetings(Presence{}, 2, time.Second); len(ms) != 0 {
+		t.Errorf("meetings from nothing: %v", ms)
+	}
+}
+
+func TestIRPairTimeDeduplicates(t *testing.T) {
+	period := 15 * time.Second
+	contacts := []Contact{
+		{At: 0, A: "A", B: "F"},
+		{At: 0, A: "F", B: "A"}, // same contact recorded by the other badge
+		{At: 15 * time.Second, A: "A", B: "F"},
+		{At: 15 * time.Second, A: "D", B: "E"},
+	}
+	got := IRPairTime(contacts, period)
+	if got[MakePair("A", "F")] != 30*time.Second {
+		t.Errorf("A-F IR time = %v", got[MakePair("A", "F")])
+	}
+	if got[MakePair("D", "E")] != 15*time.Second {
+		t.Errorf("D-E IR time = %v", got[MakePair("D", "E")])
+	}
+}
+
+func TestSweepLeavesBeforeEnters(t *testing.T) {
+	// B leaves the kitchen at the same instant C enters: no phantom
+	// three-way meeting.
+	p := Presence{
+		"A": {iv(habitat.Kitchen, 0, 200)},
+		"B": {iv(habitat.Kitchen, 0, 100)},
+		"C": {iv(habitat.Kitchen, 100, 200)},
+	}
+	ms := Meetings(p, 3, time.Second)
+	if len(ms) != 0 {
+		t.Errorf("phantom triple meeting: %+v", ms)
+	}
+}

@@ -1,0 +1,277 @@
+package radio
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"icares/internal/geometry"
+	"icares/internal/habitat"
+	"icares/internal/stats"
+)
+
+func newTestChannel(t *testing.T, band Band, seed uint64) *Channel {
+	t.Helper()
+	c, err := NewChannel(habitat.Standard(), band, stats.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewChannelNilHabitat(t *testing.T) {
+	if _, err := NewChannel(nil, BLE24, stats.NewRNG(1)); !errors.Is(err, ErrNoHabitat) {
+		t.Errorf("nil habitat: %v", err)
+	}
+	if _, err := NewChannelWithProfile(nil, ProfileFor(BLE24), stats.NewRNG(1)); !errors.Is(err, ErrNoHabitat) {
+		t.Errorf("nil habitat w/profile: %v", err)
+	}
+}
+
+func TestPathLossIncreasesWithDistance(t *testing.T) {
+	c := newTestChannel(t, BLE24, 1)
+	tx := geometry.Point{X: 12, Y: 4} // atrium
+	near := geometry.Point{X: 13, Y: 4}
+	far := geometry.Point{X: 20, Y: 4}
+	if ln, lf := c.PathLossDB(tx, near), c.PathLossDB(tx, far); ln >= lf {
+		t.Errorf("near loss %v >= far loss %v", ln, lf)
+	}
+}
+
+func TestPathLossNearFieldClamp(t *testing.T) {
+	c := newTestChannel(t, BLE24, 1)
+	p := geometry.Point{X: 12, Y: 4}
+	l0 := c.PathLossDB(p, p)
+	if math.IsInf(l0, -1) || math.IsNaN(l0) {
+		t.Errorf("coincident points loss = %v", l0)
+	}
+}
+
+func TestWallShieldingBetweenRooms(t *testing.T) {
+	hab := habitat.Standard()
+	c, err := NewChannel(hab, BLE24, stats.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kitchen, err := hab.Center(habitat.Kitchen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	office, err := hab.Center(habitat.Office)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same distance, one path crosses a metal wall.
+	sameRoom := kitchen.Add(office.Sub(kitchen)) // office center
+	inRoom := kitchen.Add(geometry.Point{X: 0, Y: 2})
+	lossWall := c.PathLossDB(kitchen, sameRoom)
+	lossFree := c.PathLossDB(kitchen, inRoom)
+	if lossWall-lossFree < 50 {
+		t.Errorf("wall added only %v dB", lossWall-lossFree)
+	}
+}
+
+func TestCrossRoomBeaconNotReceived(t *testing.T) {
+	// The paper: "the metal walls of any room perfectly shielded the signal
+	// from the beacons in the other rooms". With 0 dBm TX, a beacon one
+	// metal wall away must never be received on BLE.
+	hab := habitat.Standard()
+	c, err := NewChannel(hab, BLE24, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kitchen, err := hab.Center(habitat.Kitchen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	office, err := hab.Center(habitat.Office)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if tr := c.Transmit(office, kitchen, 0); tr.Received {
+			t.Fatalf("cross-room packet received (rssi %v)", tr.RSSI)
+		}
+	}
+}
+
+func TestInRoomBeaconReceived(t *testing.T) {
+	hab := habitat.Standard()
+	c, err := NewChannel(hab, BLE24, stats.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kitchen, err := hab.Center(habitat.Kitchen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nearby := kitchen.Add(geometry.Point{X: 1.5, Y: 1})
+	got := 0
+	for i := 0; i < 200; i++ {
+		if c.Transmit(kitchen, nearby, 0).Received {
+			got++
+		}
+	}
+	if got < 195 {
+		t.Errorf("in-room reception %d/200", got)
+	}
+}
+
+func Test868PenetratesBetterThanBLE(t *testing.T) {
+	hab := habitat.Standard()
+	ble, err := NewChannel(hab, BLE24, stats.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := NewChannel(hab, Sub868, stats.NewRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kitchen, err := hab.Center(habitat.Kitchen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	office, err := hab.Center(habitat.Office)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb, ls := ble.PathLossDB(kitchen, office), sub.PathLossDB(kitchen, office); ls >= lb {
+		t.Errorf("868 loss %v >= BLE loss %v", ls, lb)
+	}
+}
+
+func TestSetDropProb(t *testing.T) {
+	c := newTestChannel(t, BLE24, 7)
+	c.SetDropProb(1)
+	p := geometry.Point{X: 12, Y: 4}
+	q := p.Add(geometry.Point{X: 1, Y: 0})
+	for i := 0; i < 50; i++ {
+		if c.Transmit(p, q, 0).Received {
+			t.Fatal("packet received with dropProb=1")
+		}
+	}
+	c.SetDropProb(-5) // clamps to 0
+	if !c.Transmit(p, q, 0).Received {
+		t.Error("strong packet dropped with dropProb=0")
+	}
+}
+
+func TestDistanceFromRSSIInvertsModel(t *testing.T) {
+	p := ProfileFor(BLE24)
+	for _, d := range []float64{0.5, 1, 2, 5, 10} {
+		loss := p.RefLossDB + 10*p.Exponent*math.Log10(d)
+		rssi := 0 - loss
+		got := DistanceFromRSSI(p, rssi, 0)
+		if math.Abs(got-d)/d > 1e-9 {
+			t.Errorf("DistanceFromRSSI for d=%v returned %v", d, got)
+		}
+	}
+}
+
+// Property: estimated distance is monotone decreasing in RSSI.
+func TestQuickDistanceMonotone(t *testing.T) {
+	p := ProfileFor(Sub868)
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		r1 := r.Range(-100, -30)
+		r2 := r1 + r.Range(0.1, 20) // stronger
+		return DistanceFromRSSI(p, r2, 0) < DistanceFromRSSI(p, r1, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIRDetectFaceToFace(t *testing.T) {
+	hab := habitat.Standard()
+	ir, err := NewIRLink(hab, 0, 0) // defaults
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := geometry.Point{X: 10, Y: 4}
+	b := geometry.Point{X: 11.5, Y: 4}
+	// Facing each other: A faces +x (0), B faces -x (pi).
+	if !ir.Detect(a, 0, b, math.Pi) {
+		t.Error("face-to-face not detected")
+	}
+	// B turned away.
+	if ir.Detect(a, 0, b, 0) {
+		t.Error("detected although B faces away")
+	}
+	// Too far.
+	far := geometry.Point{X: 15, Y: 4}
+	if ir.Detect(a, 0, far, math.Pi) {
+		t.Error("detected beyond range")
+	}
+}
+
+func TestIRBlockedByWall(t *testing.T) {
+	hab := habitat.Standard()
+	ir, err := NewIRLink(hab, 10, math.Pi) // wide cone, long range
+	if err != nil {
+		t.Fatal(err)
+	}
+	kitchen, err := hab.Center(habitat.Kitchen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	office, err := hab.Center(habitat.Office)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ir.Detect(kitchen, 0, office, math.Pi) {
+		t.Error("IR detected through a metal wall")
+	}
+}
+
+func TestIRNilHabitat(t *testing.T) {
+	if _, err := NewIRLink(nil, 0, 0); !errors.Is(err, ErrNoHabitat) {
+		t.Errorf("nil habitat: %v", err)
+	}
+}
+
+func TestAngleDiff(t *testing.T) {
+	tests := []struct {
+		a, b, want float64
+	}{
+		{0, 0, 0},
+		{0, math.Pi / 2, math.Pi / 2},
+		{-math.Pi + 0.1, math.Pi - 0.1, 0.2},
+		{0, 2 * math.Pi, 0},
+	}
+	for _, tt := range tests {
+		if got := angleDiff(tt.a, tt.b); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("angleDiff(%v,%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+// Property: IR detection is symmetric.
+func TestQuickIRSymmetric(t *testing.T) {
+	hab := habitat.Standard()
+	ir, err := NewIRLink(hab, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		a := geometry.Point{X: r.Range(1, 23), Y: r.Range(1, 7)}
+		b := geometry.Point{X: r.Range(1, 23), Y: r.Range(1, 7)}
+		ha := r.Range(-math.Pi, math.Pi)
+		hb := r.Range(-math.Pi, math.Pi)
+		return ir.Detect(a, ha, b, hb) == ir.Detect(b, hb, a, ha)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBandString(t *testing.T) {
+	if BLE24.String() != "2.4GHz BLE" || Sub868.String() != "868MHz" {
+		t.Error("band names wrong")
+	}
+	if Band(9).String() != "unknown band" {
+		t.Error("unknown band name")
+	}
+}

@@ -1,0 +1,84 @@
+package sociometry
+
+import (
+	"strings"
+	"testing"
+
+	"icares/internal/habitat"
+)
+
+// These tests exercise the TransitionMatrix value type without the mission
+// fixture.
+
+func mkMatrix() TransitionMatrix {
+	rooms := []habitat.RoomID{habitat.Kitchen, habitat.Office, habitat.Biolab}
+	m := TransitionMatrix{Rooms: rooms, Counts: [][]int{
+		{0, 9, 1},
+		{7, 0, 2},
+		{0, 2, 0},
+	}}
+	return m
+}
+
+func TestMatrixAt(t *testing.T) {
+	m := mkMatrix()
+	if got := m.At(habitat.Kitchen, habitat.Office); got != 9 {
+		t.Errorf("kitchen->office = %d", got)
+	}
+	if got := m.At(habitat.Office, habitat.Kitchen); got != 7 {
+		t.Errorf("office->kitchen = %d", got)
+	}
+	if got := m.At(habitat.Gym, habitat.Kitchen); got != 0 {
+		t.Errorf("missing room = %d", got)
+	}
+}
+
+func TestMatrixTotal(t *testing.T) {
+	if got := mkMatrix().Total(); got != 21 {
+		t.Errorf("total = %d", got)
+	}
+	empty := TransitionMatrix{}
+	if empty.Total() != 0 {
+		t.Error("empty total")
+	}
+}
+
+func TestMatrixTopPairs(t *testing.T) {
+	m := mkMatrix()
+	top := m.TopPairs(2)
+	if len(top) != 2 {
+		t.Fatalf("top = %v", top)
+	}
+	if top[0] != [2]habitat.RoomID{habitat.Kitchen, habitat.Office} {
+		t.Errorf("top[0] = %v", top[0])
+	}
+	if top[1] != [2]habitat.RoomID{habitat.Office, habitat.Kitchen} {
+		t.Errorf("top[1] = %v", top[1])
+	}
+	// Asking for more pairs than exist returns them all.
+	if got := len(m.TopPairs(100)); got != 5 {
+		t.Errorf("all pairs = %d", got)
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	out := mkMatrix().String()
+	if !strings.Contains(out, "kitchen") || !strings.Contains(out, "9") {
+		t.Errorf("render = %q", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines != 4 { // header + 3 rows
+		t.Errorf("lines = %d", lines)
+	}
+}
+
+func TestFig2RoomsExcludesAtriumAndGym(t *testing.T) {
+	for _, r := range Fig2Rooms() {
+		if r == habitat.Atrium || r == habitat.Gym {
+			t.Errorf("Fig2Rooms contains %v", r)
+		}
+	}
+	if len(Fig2Rooms()) != 8 {
+		t.Errorf("Fig2Rooms = %d rooms", len(Fig2Rooms()))
+	}
+}

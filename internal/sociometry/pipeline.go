@@ -1,0 +1,224 @@
+// Package sociometry is the paper's analysis pipeline — the core offline
+// backend that turns raw badge datasets into the published results: room
+// transition matrices (Fig. 2), position heatmaps (Fig. 3), walking
+// fractions (Fig. 4), day timelines with meeting dynamics (Fig. 5), speech
+// fractions (Fig. 6), and the centrality table (Table I), plus the wear and
+// stay statistics quoted in the text.
+//
+// The pipeline composes the lower layers: timesync rectification first
+// (cross-badge analyses are meaningless on skewed clocks), then per-
+// astronaut attribution of badge records via the assignment metadata, then
+// localization, speech, activity, and proximity analyses.
+package sociometry
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"icares/internal/habitat"
+	"icares/internal/localization"
+	"icares/internal/record"
+	"icares/internal/simtime"
+	"icares/internal/speech"
+	"icares/internal/store"
+	"icares/internal/timesync"
+)
+
+// Source describes a mission dataset to analyze.
+type Source struct {
+	// Habitat is the floor plan the data was collected in.
+	Habitat *habitat.Habitat
+	// Dataset holds the per-badge record series (local clocks until
+	// RectifyClocks is run).
+	Dataset *store.Dataset
+	// Names lists the astronauts.
+	Names []string
+	// BadgeFor maps (astronaut, mission day) to the badge they wore that
+	// day; 0 means none. Using the nominal deployment mapping here
+	// reproduces the paper's swap/reuse confusion; using the corrected
+	// mapping reproduces the fixed analyses.
+	BadgeFor func(name string, day int) store.BadgeID
+	// VoiceProfiles maps astronaut to typical voice fundamental (Hz), for
+	// speaker attribution.
+	VoiceProfiles map[string]float64
+	// FirstDay and LastDay bound the data days (ICAres-1: 2..14).
+	FirstDay, LastDay int
+}
+
+// validate checks the source for completeness.
+func (s Source) validate() error {
+	switch {
+	case s.Habitat == nil:
+		return errors.New("sociometry: nil habitat")
+	case s.Dataset == nil:
+		return errors.New("sociometry: nil dataset")
+	case len(s.Names) == 0:
+		return errors.New("sociometry: no astronauts")
+	case s.BadgeFor == nil:
+		return errors.New("sociometry: nil badge assignment")
+	case s.FirstDay < 1 || s.LastDay < s.FirstDay:
+		return fmt.Errorf("sociometry: bad day range %d..%d", s.FirstDay, s.LastDay)
+	}
+	return nil
+}
+
+// Pipeline is a configured analysis over one source.
+type Pipeline struct {
+	src Source
+
+	// SpeechConfig holds the Fig. 6 thresholds (default: the paper's
+	// 60 dB / 20%).
+	SpeechConfig speech.Config
+	// LocWindow is the localization scan window.
+	LocWindow time.Duration
+	// MinDwell is the Fig. 2 dwell filter (default 10 s; 0 disables).
+	MinDwell time.Duration
+	// DisableRectification skips clock correction (ablation only): all
+	// cross-badge analyses then run on skewed local clocks.
+	DisableRectification bool
+
+	rectified   bool
+	corrections map[store.BadgeID]timesync.Correction
+
+	// caches keyed by astronaut
+	trackCache map[string][]localization.Fix
+	wornCache  map[string]record.RangeSet
+}
+
+// NewPipeline validates the source and builds a pipeline with the paper's
+// default parameters.
+func NewPipeline(src Source) (*Pipeline, error) {
+	if err := src.validate(); err != nil {
+		return nil, err
+	}
+	return &Pipeline{
+		src:          src,
+		SpeechConfig: speech.DefaultConfig(),
+		LocWindow:    15 * time.Second,
+		MinDwell:     localization.DefaultMinDwell,
+		trackCache:   make(map[string][]localization.Fix),
+		wornCache:    make(map[string]record.RangeSet),
+	}, nil
+}
+
+// Source returns the pipeline's source.
+func (p *Pipeline) Source() Source { return p.src }
+
+// Horizon returns the end of the data period.
+func (p *Pipeline) Horizon() time.Duration {
+	return simtime.StartOfDay(p.src.LastDay + 1)
+}
+
+// RectifyClocks estimates each badge's clock correction from its sync
+// records and rewrites the dataset's timestamps to reference (mission)
+// time. It is idempotent and must run before any cross-badge analysis;
+// every analysis method calls it implicitly. Badges without enough sync
+// observations keep their local clocks (correction identity) — their
+// records remain usable for per-badge analyses.
+func (p *Pipeline) RectifyClocks() (map[store.BadgeID]timesync.Correction, error) {
+	if p.rectified {
+		return p.corrections, nil
+	}
+	if p.DisableRectification {
+		p.rectified = true
+		p.corrections = make(map[store.BadgeID]timesync.Correction)
+		return p.corrections, nil
+	}
+	out := make(map[store.BadgeID]timesync.Correction)
+	for _, id := range p.src.Dataset.Badges() {
+		s := p.src.Dataset.Series(id)
+		c, err := timesync.EstimateFromRecords(s.All())
+		if err != nil {
+			// Not enough exchanges: keep local time.
+			out[id] = timesync.Identity()
+			continue
+		}
+		out[id] = c
+		s.Rectify(c.ToReference)
+	}
+	p.rectified = true
+	p.corrections = out
+	return out, nil
+}
+
+// dayRange returns the [start, end) reference times of a mission day.
+func dayRange(day int) (time.Duration, time.Duration) {
+	return simtime.StartOfDay(day), simtime.StartOfDay(day + 1)
+}
+
+// RecordsFor returns the astronaut's records across all data days,
+// concatenated according to the day-wise badge assignment and rectified to
+// mission time.
+func (p *Pipeline) RecordsFor(name string) []record.Record {
+	if _, err := p.RectifyClocks(); err != nil {
+		return nil
+	}
+	var out []record.Record
+	for day := p.src.FirstDay; day <= p.src.LastDay; day++ {
+		id := p.src.BadgeFor(name, day)
+		if id == 0 {
+			continue
+		}
+		from, to := dayRange(day)
+		out = append(out, p.src.Dataset.Series(id).Range(from, to)...)
+	}
+	return out
+}
+
+// WornRanges returns the astronaut's badge-worn periods.
+func (p *Pipeline) WornRanges(name string) record.RangeSet {
+	if got, ok := p.wornCache[name]; ok {
+		return got
+	}
+	worn := record.WornRanges(p.RecordsFor(name), p.Horizon())
+	p.wornCache[name] = worn
+	return worn
+}
+
+// Track returns the astronaut's localization fixes while the badge was
+// worn (an unworn badge still scans from wherever it lies, which would
+// corrupt mobility analyses).
+func (p *Pipeline) Track(name string) []localization.Fix {
+	if got, ok := p.trackCache[name]; ok {
+		return got
+	}
+	loc, err := localization.NewLocator(p.src.Habitat)
+	if err != nil {
+		return nil
+	}
+	fixes := loc.Track(p.RecordsFor(name), p.LocWindow)
+	worn := p.WornRanges(name)
+	kept := make([]localization.Fix, 0, len(fixes))
+	for _, f := range fixes {
+		if worn.Contains(f.At) {
+			kept = append(kept, f)
+		}
+	}
+	p.trackCache[name] = kept
+	return kept
+}
+
+// Intervals returns the astronaut's room-stay intervals with the pipeline's
+// dwell filter applied.
+func (p *Pipeline) Intervals(name string) []localization.Interval {
+	return localization.RoomIntervals(p.Track(name), p.MinDwell, localization.DefaultMaxGap)
+}
+
+// Frames returns the astronaut's analyzed mic frames while worn.
+func (p *Pipeline) Frames(name string) []speech.Frame {
+	frames := speech.Frames(p.RecordsFor(name), p.SpeechConfig)
+	return speech.FilterWorn(frames, p.WornRanges(name))
+}
+
+// invalidate clears caches (used when analysis parameters change).
+func (p *Pipeline) invalidate() {
+	p.trackCache = make(map[string][]localization.Fix)
+	p.wornCache = make(map[string]record.RangeSet)
+}
+
+// SetMinDwell changes the dwell filter and clears cached tracks.
+func (p *Pipeline) SetMinDwell(d time.Duration) {
+	p.MinDwell = d
+	p.invalidate()
+}

@@ -1,0 +1,195 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("stream diverged at %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Error("split children produced identical first output")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Uniformity(t *testing.T) {
+	r := NewRNG(11)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean of uniforms = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("Intn(7) covered %d values, want 7", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestNormMoments(t *testing.T) {
+	r := NewRNG(13)
+	const n = 200000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Norm(10, 2)
+	}
+	if m := Mean(xs); math.Abs(m-10) > 0.05 {
+		t.Errorf("Norm mean = %v, want ~10", m)
+	}
+	if s := StdDev(xs); math.Abs(s-2) > 0.05 {
+		t.Errorf("Norm stddev = %v, want ~2", s)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(17)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.Exp(3)
+		if v < 0 {
+			t.Fatalf("Exp produced negative value %v", v)
+		}
+		sum += v
+	}
+	if m := sum / n; math.Abs(m-3) > 0.05 {
+		t.Errorf("Exp mean = %v, want ~3", m)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(19)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestChoiceRespectsWeights(t *testing.T) {
+	r := NewRNG(23)
+	counts := make([]int, 3)
+	weights := []float64{1, 0, 3}
+	for i := 0; i < 40000; i++ {
+		counts[r.Choice(weights)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight index chosen %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Errorf("weight ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestChoiceAllZeroWeightsUniform(t *testing.T) {
+	r := NewRNG(29)
+	seen := make(map[int]bool)
+	for i := 0; i < 200; i++ {
+		seen[r.Choice([]float64{0, 0, 0})] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("all-zero weights covered %d indices, want 3", len(seen))
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRNG(31)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.25) > 0.01 {
+		t.Errorf("Bool(0.25) rate = %v", p)
+	}
+}
+
+// Property: any seed produces values strictly inside [0,1) and Intn stays in
+// range.
+func TestQuickRNGProperties(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		r := NewRNG(seed)
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			return false
+		}
+		m := int(n)%100 + 1
+		x := r.Intn(m)
+		return x >= 0 && x < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

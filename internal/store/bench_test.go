@@ -1,0 +1,57 @@
+package store
+
+import (
+	"testing"
+	"time"
+
+	"icares/internal/record"
+	"icares/internal/stats"
+)
+
+func benchSeries(n int) *Series {
+	rng := stats.NewRNG(1)
+	s := &Series{}
+	for i := 0; i < n; i++ {
+		s.Append(record.Record{
+			Local:  time.Duration(i) * time.Second,
+			Kind:   record.KindBeacon,
+			PeerID: uint16(rng.Intn(27) + 1),
+			RSSI:   float32(rng.Range(-90, -40)),
+		})
+	}
+	return s
+}
+
+func BenchmarkSeriesAppend(b *testing.B) {
+	s := &Series{}
+	rec := record.Record{Kind: record.KindAccel, AZ: 1000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Local = time.Duration(i) * time.Second
+		s.Append(rec)
+	}
+}
+
+func BenchmarkSeriesRangeQuery(b *testing.B) {
+	s := benchSeries(100_000)
+	s.ensureSorted()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := time.Duration(i%90_000) * time.Second
+		got := s.Range(from, from+3600*time.Second)
+		if len(got) == 0 {
+			b.Fatal("empty range")
+		}
+	}
+}
+
+func BenchmarkSeriesKindFilter(b *testing.B) {
+	s := benchSeries(100_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.RangeKind(0, 10_000*time.Second, record.KindBeacon)
+	}
+}

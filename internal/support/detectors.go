@@ -1,0 +1,363 @@
+package support
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"icares/internal/habitat"
+	"icares/internal/record"
+	"icares/internal/simtime"
+	"icares/internal/store"
+)
+
+// InactivityDetector raises a warning when a worn badge shows no movement
+// for too long — the "protecting human life" function: an astronaut
+// collapsed in a module would present exactly this signature.
+type InactivityDetector struct {
+	// MaxStill is how long a worn badge may stay motionless.
+	MaxStill time.Duration
+	// MoveSigma is the accel deviation (milli-g) counting as movement.
+	MoveSigma float64
+
+	lastMove map[string]time.Duration
+	worn     map[string]bool
+	alerted  map[string]bool
+	lastSeen map[string]time.Duration
+}
+
+// NewInactivityDetector returns a detector with 30-minute tolerance.
+func NewInactivityDetector() *InactivityDetector {
+	return &InactivityDetector{
+		MaxStill:  30 * time.Minute,
+		MoveSigma: 45,
+		lastMove:  make(map[string]time.Duration),
+		worn:      make(map[string]bool),
+		alerted:   make(map[string]bool),
+		lastSeen:  make(map[string]time.Duration),
+	}
+}
+
+// Name implements Detector.
+func (d *InactivityDetector) Name() string { return "inactivity" }
+
+// Observe implements Detector.
+func (d *InactivityDetector) Observe(at time.Duration, wearer string, _ store.BadgeID, rec record.Record) []Alert {
+	if wearer == "" {
+		return nil
+	}
+	d.lastSeen[wearer] = at
+	switch rec.Kind {
+	case record.KindWear:
+		d.worn[wearer] = rec.Worn
+		if rec.Worn {
+			d.lastMove[wearer] = at
+			d.alerted[wearer] = false
+		}
+	case record.KindAccel:
+		dev := math.Max(math.Abs(float64(rec.AX)), math.Abs(float64(rec.AY)))
+		if dev >= d.MoveSigma {
+			d.lastMove[wearer] = at
+			d.alerted[wearer] = false
+		}
+	}
+	return nil
+}
+
+// Sweep implements Detector.
+func (d *InactivityDetector) Sweep(now time.Duration) []Alert {
+	var out []Alert
+	for wearer, worn := range d.worn {
+		if !worn || d.alerted[wearer] {
+			continue
+		}
+		last, ok := d.lastMove[wearer]
+		if !ok {
+			continue
+		}
+		if now-last >= d.MaxStill {
+			d.alerted[wearer] = true
+			out = append(out, Alert{
+				At: now, Severity: Critical, Kind: d.Name(), Subject: wearer,
+				Message: fmt.Sprintf("no movement from %s for %v while badge worn — possible incapacitation", wearer, now-last),
+			})
+		}
+	}
+	return out
+}
+
+// QuietCrewDetector watches the crew-wide conversation level and flags
+// days when the crew fell unusually silent (the days 11-12 signature: food
+// shortage and the mission-control reprimand).
+type QuietCrewDetector struct {
+	// Window is the sliding evaluation window.
+	Window time.Duration
+	// MinFrames is the minimum mic frames in a window for a verdict.
+	MinFrames int
+	// QuietRatio flags a window whose speech fraction is below this ratio
+	// of the trailing baseline.
+	QuietRatio float64
+
+	frames   []frameObs
+	baseline ewma
+	lastEval time.Duration
+	quietNow bool
+}
+
+type frameObs struct {
+	at     time.Duration
+	speech bool
+}
+
+type ewma struct {
+	val float64
+	ok  bool
+}
+
+func (e *ewma) update(x, alpha float64) {
+	if !e.ok {
+		e.val, e.ok = x, true
+		return
+	}
+	e.val = (1-alpha)*e.val + alpha*x
+}
+
+// NewQuietCrewDetector returns a detector with a 2-hour window.
+func NewQuietCrewDetector() *QuietCrewDetector {
+	return &QuietCrewDetector{
+		Window:     2 * time.Hour,
+		MinFrames:  60,
+		QuietRatio: 0.3,
+	}
+}
+
+// Name implements Detector.
+func (d *QuietCrewDetector) Name() string { return "quiet-crew" }
+
+// Observe implements Detector.
+func (d *QuietCrewDetector) Observe(at time.Duration, wearer string, _ store.BadgeID, rec record.Record) []Alert {
+	if rec.Kind != record.KindMic || wearer == "" {
+		return nil
+	}
+	speech := rec.SpeechDetected && rec.LoudnessDB >= 60 && rec.SpeechFraction >= 0.2
+	d.frames = append(d.frames, frameObs{at: at, speech: speech})
+	return nil
+}
+
+// Sweep implements Detector.
+func (d *QuietCrewDetector) Sweep(now time.Duration) []Alert {
+	if now-d.lastEval < d.Window/4 {
+		return nil
+	}
+	d.lastEval = now
+	// Trim to window.
+	cut := 0
+	for cut < len(d.frames) && d.frames[cut].at < now-d.Window {
+		cut++
+	}
+	d.frames = d.frames[cut:]
+	if len(d.frames) < d.MinFrames {
+		return nil
+	}
+	speech := 0
+	for _, f := range d.frames {
+		if f.speech {
+			speech++
+		}
+	}
+	frac := float64(speech) / float64(len(d.frames))
+	defer d.baseline.update(frac, 0.1)
+	if !d.baseline.ok || d.baseline.val < 0.02 {
+		return nil
+	}
+	quiet := frac < d.QuietRatio*d.baseline.val
+	if quiet && !d.quietNow {
+		d.quietNow = true
+		return []Alert{{
+			At: now, Severity: Warning, Kind: d.Name(),
+			Message: fmt.Sprintf("crew conversation level %.1f%% vs baseline %.1f%% — possible morale issue", 100*frac, 100*d.baseline.val),
+		}}
+	}
+	if !quiet {
+		d.quietNow = false
+	}
+	return nil
+}
+
+// BatteryDetector flags low batteries before they strand an astronaut
+// without sensing.
+type BatteryDetector struct {
+	// LowPct triggers the warning.
+	LowPct  float64
+	alerted map[store.BadgeID]bool
+}
+
+// NewBatteryDetector returns a detector triggering below 20%.
+func NewBatteryDetector() *BatteryDetector {
+	return &BatteryDetector{LowPct: 20, alerted: make(map[store.BadgeID]bool)}
+}
+
+// Name implements Detector.
+func (d *BatteryDetector) Name() string { return "battery" }
+
+// Observe implements Detector.
+func (d *BatteryDetector) Observe(at time.Duration, wearer string, badge store.BadgeID, rec record.Record) []Alert {
+	if rec.Kind != record.KindBattery {
+		return nil
+	}
+	if float64(rec.BatteryPct) >= d.LowPct {
+		d.alerted[badge] = false
+		return nil
+	}
+	if d.alerted[badge] {
+		return nil
+	}
+	d.alerted[badge] = true
+	return []Alert{{
+		At: at, Severity: Warning, Kind: d.Name(), Subject: wearer,
+		Message: fmt.Sprintf("badge %d battery at %.0f%% — dock it or swap to a backup", badge, rec.BatteryPct),
+	}}
+}
+
+// Sweep implements Detector.
+func (d *BatteryDetector) Sweep(time.Duration) []Alert { return nil }
+
+// HydrationDetector reminds astronauts who have not visited the kitchen
+// for hours — the paper's observed pattern of crew absorbed in office work
+// who "had to quickly supplement water ... to avoid dehydration", and its
+// Section VI urine-processor/smart-mug integration sketch reduced to the
+// signal available from the badges.
+type HydrationDetector struct {
+	// MaxDry is the longest tolerated interval without a kitchen visit.
+	MaxDry time.Duration
+	// kitchenBeacons are the beacon IDs inside the kitchen.
+	kitchenBeacons map[uint16]bool
+
+	lastKitchen map[string]time.Duration
+	firstSeen   map[string]time.Duration
+	alerted     map[string]bool
+}
+
+// NewHydrationDetector builds the detector from the habitat's beacon map.
+func NewHydrationDetector(hab *habitat.Habitat, maxDry time.Duration) *HydrationDetector {
+	if maxDry <= 0 {
+		maxDry = 5 * time.Hour
+	}
+	kb := make(map[uint16]bool)
+	for _, s := range hab.Beacons() {
+		if s.Room == habitat.Kitchen {
+			kb[uint16(s.ID)] = true
+		}
+	}
+	return &HydrationDetector{
+		MaxDry:         maxDry,
+		kitchenBeacons: kb,
+		lastKitchen:    make(map[string]time.Duration),
+		firstSeen:      make(map[string]time.Duration),
+		alerted:        make(map[string]bool),
+	}
+}
+
+// Name implements Detector.
+func (d *HydrationDetector) Name() string { return "hydration" }
+
+// Observe implements Detector.
+func (d *HydrationDetector) Observe(at time.Duration, wearer string, _ store.BadgeID, rec record.Record) []Alert {
+	if wearer == "" || rec.Kind != record.KindBeacon {
+		return nil
+	}
+	if _, ok := d.firstSeen[wearer]; !ok {
+		d.firstSeen[wearer] = at
+	}
+	if d.kitchenBeacons[rec.PeerID] {
+		d.lastKitchen[wearer] = at
+		d.alerted[wearer] = false
+	}
+	return nil
+}
+
+// Sweep implements Detector.
+func (d *HydrationDetector) Sweep(now time.Duration) []Alert {
+	var out []Alert
+	for wearer, first := range d.firstSeen {
+		if d.alerted[wearer] {
+			continue
+		}
+		ref := d.lastKitchen[wearer]
+		if ref == 0 {
+			ref = first
+		}
+		if now-ref >= d.MaxDry {
+			d.alerted[wearer] = true
+			out = append(out, Alert{
+				At: now, Severity: Info, Kind: d.Name(), Subject: wearer,
+				Message: fmt.Sprintf("%s has not visited the kitchen for %v — hydration reminder", wearer, now-ref),
+			})
+		}
+	}
+	return out
+}
+
+// WearComplianceDetector nudges astronauts whose badges stay off during
+// duty hours — the decline from ~80% to ~50% the paper attributes to the
+// badge being a burden in the lab and workshop.
+type WearComplianceDetector struct {
+	// MaxOff is the longest tolerated continuous unworn span during duty.
+	MaxOff time.Duration
+
+	wornSince   map[string]time.Duration
+	unwornSince map[string]time.Duration
+	alerted     map[string]bool
+}
+
+// NewWearComplianceDetector returns a detector with a 90-minute tolerance.
+func NewWearComplianceDetector() *WearComplianceDetector {
+	return &WearComplianceDetector{
+		MaxOff:      90 * time.Minute,
+		wornSince:   make(map[string]time.Duration),
+		unwornSince: make(map[string]time.Duration),
+		alerted:     make(map[string]bool),
+	}
+}
+
+// Name implements Detector.
+func (d *WearComplianceDetector) Name() string { return "wear-compliance" }
+
+// Observe implements Detector.
+func (d *WearComplianceDetector) Observe(at time.Duration, wearer string, _ store.BadgeID, rec record.Record) []Alert {
+	if wearer == "" || rec.Kind != record.KindWear {
+		return nil
+	}
+	if rec.Worn {
+		d.wornSince[wearer] = at
+		delete(d.unwornSince, wearer)
+		d.alerted[wearer] = false
+	} else {
+		d.unwornSince[wearer] = at
+	}
+	return nil
+}
+
+// Sweep implements Detector. Overnight docking is not a compliance issue:
+// the unworn span must start and end within the same day's duty hours.
+func (d *WearComplianceDetector) Sweep(now time.Duration) []Alert {
+	var out []Alert
+	tod := simtime.TimeOfDay(now)
+	if tod < 8*time.Hour || tod >= 22*time.Hour {
+		return nil
+	}
+	for wearer, since := range d.unwornSince {
+		if d.alerted[wearer] || now-since < d.MaxOff {
+			continue
+		}
+		if simtime.DayOf(since) != simtime.DayOf(now) {
+			continue
+		}
+		d.alerted[wearer] = true
+		out = append(out, Alert{
+			At: now, Severity: Info, Kind: d.Name(), Subject: wearer,
+			Message: fmt.Sprintf("%s's badge unworn for %v during duty — please put it back on", wearer, now-since),
+		})
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package support
+
+import (
+	"container/heap"
+	"time"
+
+	"icares/internal/record"
+	"icares/internal/simtime"
+	"icares/internal/store"
+)
+
+// Replayer streams a recorded dataset through a daemon in global timestamp
+// order, as if the records were arriving live — the bridge between the
+// offline datasets of this repository and the real-time support system. In
+// a deployment the same Daemon would be fed by the radio ingest path
+// instead.
+type Replayer struct {
+	daemon *Daemon
+	ds     *store.Dataset
+	// WearerOf maps a badge and mission day to its wearer ("" if none).
+	WearerOf func(id store.BadgeID, day int) string
+}
+
+// NewReplayer builds a replayer over a dataset.
+func NewReplayer(d *Daemon, ds *store.Dataset, wearerOf func(store.BadgeID, int) string) *Replayer {
+	return &Replayer{daemon: d, ds: ds, WearerOf: wearerOf}
+}
+
+// cursor walks one badge's series.
+type cursor struct {
+	id   store.BadgeID
+	recs []record.Record
+	pos  int
+}
+
+type cursorHeap []*cursor
+
+func (h cursorHeap) Len() int { return len(h) }
+func (h cursorHeap) Less(i, j int) bool {
+	return h[i].recs[h[i].pos].Local < h[j].recs[h[j].pos].Local
+}
+func (h cursorHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *cursorHeap) Push(x any) {
+	c, ok := x.(*cursor)
+	if ok {
+		*h = append(*h, c)
+	}
+}
+func (h *cursorHeap) Pop() any {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	*h = old[:n-1]
+	return c
+}
+
+// Run replays records with timestamps in [from, to), returning how many
+// were ingested.
+func (r *Replayer) Run(from, to time.Duration) int {
+	var h cursorHeap
+	for _, id := range r.ds.Badges() {
+		recs := r.ds.Series(id).Range(from, to)
+		if len(recs) > 0 {
+			h = append(h, &cursor{id: id, recs: recs})
+		}
+	}
+	heap.Init(&h)
+	n := 0
+	for h.Len() > 0 {
+		c, ok := heap.Pop(&h).(*cursor)
+		if !ok {
+			break
+		}
+		rec := c.recs[c.pos]
+		wearer := ""
+		if r.WearerOf != nil {
+			wearer = r.WearerOf(c.id, simtime.DayOf(rec.Local))
+		}
+		r.daemon.Ingest(rec.Local, wearer, c.id, rec)
+		n++
+		c.pos++
+		if c.pos < len(c.recs) {
+			heap.Push(&h, c)
+		}
+	}
+	return n
+}

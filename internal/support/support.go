@@ -1,0 +1,236 @@
+// Package support implements the mission support system the paper's
+// Section VI calls for: an autonomous, habitat-local distributed service
+// that ingests the sensing streams in real time and gives the crew
+// immediate feedback — "informing them about relevant phenomena and
+// allowing for reacting appropriately" — instead of waiting for offline
+// analysis or a 20-minute-away mission control.
+//
+// The package provides:
+//
+//   - Daemon: streaming ingestion of badge records with pluggable anomaly
+//     detectors (inactivity, crew-wide quietness, wear compliance, battery,
+//     hydration) and an alert bus;
+//   - HealthRegistry and BadgePool: device monitoring and failover to the
+//     six backup badges;
+//   - Council: the consensus-approval protocol for significant system
+//     changes (crew majority plus delayed mission-control assent);
+//   - PrivacyGuard: per-astronaut sensor-suppression windows ("temporarily
+//     disable some functionalities in privacy-sensitive situations").
+package support
+
+import (
+	"fmt"
+	"time"
+
+	"icares/internal/record"
+	"icares/internal/store"
+)
+
+// Severity grades an alert.
+type Severity int
+
+// Severity levels.
+const (
+	Info Severity = iota + 1
+	Warning
+	Critical
+)
+
+// String returns the severity label.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Critical:
+		return "critical"
+	default:
+		return fmt.Sprintf("severity(%d)", int(s))
+	}
+}
+
+// Alert is one support-system finding.
+type Alert struct {
+	At       time.Duration
+	Severity Severity
+	// Kind is a stable machine-readable category (e.g. "inactivity").
+	Kind string
+	// Subject is the astronaut or badge concerned ("" for crew-wide).
+	Subject string
+	Message string
+}
+
+// Detector consumes the stream and raises alerts. Observe is called for
+// every ingested record; Sweep runs on the daemon's periodic tick for
+// time-based conditions.
+type Detector interface {
+	Name() string
+	Observe(at time.Duration, wearer string, badge store.BadgeID, rec record.Record) []Alert
+	Sweep(now time.Duration) []Alert
+}
+
+// Daemon is the streaming support service.
+type Daemon struct {
+	detectors []Detector
+	privacy   *PrivacyGuard
+	health    *HealthRegistry
+
+	alerts []Alert
+	subs   []func(Alert)
+
+	// SweepEvery is the periodic evaluation interval.
+	SweepEvery time.Duration
+	lastSweep  time.Duration
+}
+
+// NewDaemon creates a daemon with no detectors registered.
+func NewDaemon() *Daemon {
+	return &Daemon{
+		privacy:    NewPrivacyGuard(),
+		health:     NewHealthRegistry(),
+		SweepEvery: time.Minute,
+	}
+}
+
+// Register adds a detector.
+func (d *Daemon) Register(det Detector) { d.detectors = append(d.detectors, det) }
+
+// Privacy returns the daemon's privacy guard.
+func (d *Daemon) Privacy() *PrivacyGuard { return d.privacy }
+
+// Health returns the daemon's device-health registry.
+func (d *Daemon) Health() *HealthRegistry { return d.health }
+
+// OnAlert subscribes to alerts as they are raised.
+func (d *Daemon) OnAlert(fn func(Alert)) { d.subs = append(d.subs, fn) }
+
+// Alerts returns all alerts raised so far (copy).
+func (d *Daemon) Alerts() []Alert {
+	out := make([]Alert, len(d.alerts))
+	copy(out, d.alerts)
+	return out
+}
+
+// AlertsOfKind filters the alert log.
+func (d *Daemon) AlertsOfKind(kind string) []Alert {
+	var out []Alert
+	for _, a := range d.alerts {
+		if a.Kind == kind {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func (d *Daemon) raise(alerts []Alert) {
+	for _, a := range alerts {
+		d.alerts = append(d.alerts, a)
+		for _, fn := range d.subs {
+			fn(a)
+		}
+	}
+}
+
+// Ingest feeds one record into the pipeline. Records inside the wearer's
+// privacy windows are dropped for privacy-sensitive kinds (mic, IR) before
+// any detector sees them; movement and device-health kinds still flow, as
+// safety monitoring must survive privacy mode.
+func (d *Daemon) Ingest(at time.Duration, wearer string, badge store.BadgeID, rec record.Record) {
+	d.health.Seen(badge, at)
+	if d.privacy.Suppressed(wearer, at) && privacySensitive(rec.Kind) {
+		return
+	}
+	for _, det := range d.detectors {
+		d.raise(det.Observe(at, wearer, badge, rec))
+	}
+	if at-d.lastSweep >= d.SweepEvery {
+		d.lastSweep = at
+		d.Sweep(at)
+	}
+}
+
+// Sweep runs every detector's periodic evaluation.
+func (d *Daemon) Sweep(now time.Duration) {
+	for _, det := range d.detectors {
+		d.raise(det.Sweep(now))
+	}
+}
+
+func privacySensitive(k record.Kind) bool {
+	switch k {
+	case record.KindMic, record.KindIR:
+		return true
+	default:
+		return false
+	}
+}
+
+// PrivacyGuard tracks per-astronaut sensor-suppression windows.
+type PrivacyGuard struct {
+	windows map[string]record.RangeSet
+}
+
+// NewPrivacyGuard creates an empty guard.
+func NewPrivacyGuard() *PrivacyGuard {
+	return &PrivacyGuard{windows: make(map[string]record.RangeSet)}
+}
+
+// Suppress disables privacy-sensitive sensing for the astronaut during
+// [from, to).
+func (g *PrivacyGuard) Suppress(name string, from, to time.Duration) {
+	g.windows[name] = append(g.windows[name], record.TimeRange{From: from, To: to}).Normalize()
+}
+
+// Suppressed reports whether the astronaut's privacy mode covers t.
+func (g *PrivacyGuard) Suppressed(name string, t time.Duration) bool {
+	return g.windows[name].Contains(t)
+}
+
+// Windows returns the astronaut's suppression windows.
+func (g *PrivacyGuard) Windows(name string) record.RangeSet {
+	return append(record.RangeSet{}, g.windows[name]...)
+}
+
+// HealthRegistry tracks device liveness.
+type HealthRegistry struct {
+	lastSeen map[store.BadgeID]time.Duration
+}
+
+// NewHealthRegistry creates an empty registry.
+func NewHealthRegistry() *HealthRegistry {
+	return &HealthRegistry{lastSeen: make(map[store.BadgeID]time.Duration)}
+}
+
+// Seen records a sign of life from a badge.
+func (h *HealthRegistry) Seen(id store.BadgeID, at time.Duration) {
+	if cur, ok := h.lastSeen[id]; !ok || at > cur {
+		h.lastSeen[id] = at
+	}
+}
+
+// LastSeen returns the badge's last sign of life.
+func (h *HealthRegistry) LastSeen(id store.BadgeID) (time.Duration, bool) {
+	at, ok := h.lastSeen[id]
+	return at, ok
+}
+
+// Stale returns the known badges not heard from within maxAge of now.
+func (h *HealthRegistry) Stale(now, maxAge time.Duration) []store.BadgeID {
+	var out []store.BadgeID
+	for id, at := range h.lastSeen {
+		if now-at > maxAge {
+			out = append(out, id)
+		}
+	}
+	sortBadgeIDs(out)
+	return out
+}
+
+func sortBadgeIDs(ids []store.BadgeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
