@@ -382,6 +382,33 @@ func BenchmarkAblationAssignment(b *testing.B) {
 	b.ReportMetric(gap, "swap-day-walk-gap")
 }
 
+// benchReport measures the full Report over a fresh pipeline (cold memo
+// caches, shared rectified dataset) at the given fan-out width — the
+// end-to-end cost of the complete analysis suite.
+func benchReport(b *testing.B, parallelism int) {
+	m, _ := benchSetup(b)
+	var n int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := m.Pipeline(TrueAssignment)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Parallelism = parallelism
+		n = len(p.Report())
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(n), "report-bytes")
+}
+
+// BenchmarkReportSequential is the single-worker baseline for the fan-out
+// speedup comparison.
+func BenchmarkReportSequential(b *testing.B) { benchReport(b, 1) }
+
+// BenchmarkReportParallel runs the crew fan-out at the default
+// runtime.NumCPU() width; compare ns/op against BenchmarkReportSequential.
+func BenchmarkReportParallel(b *testing.B) { benchReport(b, 0) }
+
 // BenchmarkMissionSimulation measures the simulator itself on a 1-day run.
 func BenchmarkMissionSimulation(b *testing.B) {
 	b.ReportAllocs()

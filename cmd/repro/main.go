@@ -17,8 +17,10 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"icares"
@@ -28,6 +30,29 @@ import (
 	"icares/internal/sociometry"
 	"icares/internal/survey"
 )
+
+// collectByName computes one per-day series per astronaut across a
+// CPU-bounded worker pool (the pipeline is safe for concurrent use).
+func collectByName(names []string, fn func(string) map[int]float64) map[string]map[int]float64 {
+	series := make([]map[int]float64, len(names))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.NumCPU())
+	for i, n := range names {
+		wg.Add(1)
+		go func(i int, n string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			series[i] = fn(n)
+			<-sem
+		}(i, n)
+	}
+	wg.Wait()
+	out := make(map[string]map[int]float64, len(names))
+	for i, n := range names {
+		out[n] = series[i]
+	}
+	return out
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -70,6 +95,10 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Derive every per-astronaut input (records, tracks, frames, activity
+	// windows) across a CPU-bounded pool up front; the figures below then
+	// render from the memoized caches.
+	pipe.Warm()
 
 	experiments := map[string]func(*icares.Mission, *sociometry.Pipeline) error{
 		"fig2":   fig2,
@@ -147,10 +176,7 @@ func fig4(m *icares.Mission, p *sociometry.Pipeline) error {
 		fmt.Printf("%8s", n)
 	}
 	fmt.Println()
-	byName := make(map[string]map[int]float64)
-	for _, n := range m.Names() {
-		byName[n] = p.WalkingByDay(n)
-	}
+	byName := collectByName(m.Names(), p.WalkingByDay)
 	last := lastDay(p)
 	if last > 8 {
 		last = 8
@@ -200,10 +226,7 @@ func fig6(m *icares.Mission, p *sociometry.Pipeline) error {
 		fmt.Printf("%8s", n)
 	}
 	fmt.Println()
-	byName := make(map[string]map[int]float64)
-	for _, n := range m.Names() {
-		byName[n] = p.SpeechByDay(n)
-	}
+	byName := collectByName(m.Names(), p.SpeechByDay)
 	for day := 2; day <= lastDay(p); day++ {
 		fmt.Printf("%4d", day)
 		for _, n := range m.Names() {
@@ -306,8 +329,9 @@ func headlineStats(m *icares.Mission, p *sociometry.Pipeline) error {
 	fmt.Println("\nroom-change rate per tracked hour (crew mean):")
 	rateDays := map[int]float64{}
 	rateCounts := map[int]int{}
+	ratesByName := collectByName(m.Names(), p.ChangeRateByDay)
 	for _, n := range m.Names() {
-		for d, v := range p.ChangeRateByDay(n) {
+		for d, v := range ratesByName[n] {
 			rateDays[d] += v
 			rateCounts[d]++
 		}
@@ -357,8 +381,9 @@ func surveyCorr(col *survey.Collection, sensed map[int]float64) (float64, int, e
 func crewMeanSpeechByDay(m *icares.Mission, p *sociometry.Pipeline) map[int]float64 {
 	sums := make(map[int]float64)
 	counts := make(map[int]int)
+	byName := collectByName(m.Names(), p.SpeechByDay)
 	for _, n := range m.Names() {
-		for d, v := range p.SpeechByDay(n) {
+		for d, v := range byName[n] {
 			sums[d] += v
 			counts[d]++
 		}

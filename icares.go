@@ -102,9 +102,11 @@ func (m *Mission) VoiceProfiles() map[string]float64 {
 // Pipeline builds the sociometric analysis pipeline over the mission's
 // dataset under the chosen assignment view.
 //
-// Rectification mutates the dataset timestamps in place on first use, so
-// build pipelines for different views from different Simulate runs, or
-// reuse a single pipeline.
+// Pipelines are safe for concurrent use, and clock rectification runs
+// exactly once per dataset: building both the TrueAssignment and
+// NominalAssignment views over one Simulate run is supported — the second
+// view adopts the corrections the first one applied instead of
+// re-rectifying already-rectified timestamps.
 func (m *Mission) Pipeline(view AssignmentView) (*sociometry.Pipeline, error) {
 	badgeFor := m.res.Assignment.TrueBadgeFor
 	if view == NominalAssignment {

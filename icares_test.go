@@ -193,3 +193,69 @@ func TestFailedBadgeStopsRecordingAndReuseContinues(t *testing.T) {
 		t.Error("C's badge never worn on the reuse day")
 	}
 }
+
+func TestSharedDatasetRectifiedOnceAcrossViews(t *testing.T) {
+	// Regression: building both assignment views over one Simulate run used
+	// to re-apply clock corrections to the already-rectified dataset,
+	// skewing every timestamp of the second view's analyses.
+	if testing.Short() {
+		t.Skip("mission simulation in -short mode")
+	}
+	m, err := Simulate(Options{Seed: 11, Days: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := m.Result().Dataset
+
+	truth, err := m.Pipeline(TrueAssignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cors1, err := truth.RectifyClocks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Rectified() {
+		t.Fatal("dataset not marked rectified after first pipeline")
+	}
+	// Snapshot rectified timestamps of every badge.
+	type bounds struct{ first, last time.Duration }
+	snap := make(map[store.BadgeID]bounds)
+	for _, id := range ds.Badges() {
+		f, _ := ds.Series(id).First()
+		l, _ := ds.Series(id).Last()
+		snap[id] = bounds{f.Local, l.Local}
+	}
+
+	nominal, err := m.Pipeline(NominalAssignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cors2, err := nominal.RectifyClocks()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The second view adopts the first view's corrections verbatim...
+	if len(cors2) != len(cors1) {
+		t.Fatalf("correction sets differ: %d vs %d badges", len(cors2), len(cors1))
+	}
+	for id, c1 := range cors1 {
+		if c2 := cors2[id]; c2 != c1 {
+			t.Errorf("badge %d: corrections differ: %+v vs %+v", id, c1, c2)
+		}
+	}
+	// ...and the timestamps are untouched.
+	for id, want := range snap {
+		f, _ := ds.Series(id).First()
+		l, _ := ds.Series(id).Last()
+		if f.Local != want.first || l.Local != want.last {
+			t.Errorf("badge %d timestamps moved: [%v,%v] -> [%v,%v] (double rectification)",
+				id, want.first, want.last, f.Local, l.Local)
+		}
+	}
+	// Both views stay analyzable.
+	if truth.Transitions(nil).Total() == 0 || nominal.Transitions(nil).Total() == 0 {
+		t.Error("a view lost its transitions")
+	}
+}

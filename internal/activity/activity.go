@@ -143,10 +143,9 @@ func ByDay(samples []Sample) map[int][]Sample {
 	return out
 }
 
-// DailyWalkingFraction computes the Fig. 4 series for one astronaut: the
-// walking fraction of worn windows per mission day.
-func DailyWalkingFraction(recs []record.Record, worn record.RangeSet, cfg Config) map[int]float64 {
-	samples := FilterWorn(Classify(recs, cfg), worn)
+// WalkingFractionByDay computes the per-day walking fraction of already
+// classified (and typically worn-filtered) samples.
+func WalkingFractionByDay(samples []Sample) map[int]float64 {
 	out := make(map[int]float64)
 	for day, ss := range ByDay(samples) {
 		out[day] = WalkingFraction(ss)
@@ -154,10 +153,9 @@ func DailyWalkingFraction(recs []record.Record, worn record.RangeSet, cfg Config
 	return out
 }
 
-// MeanDailyRMS computes the average movement intensity per day, the paper's
-// "average daily acceleration" companion metric.
-func MeanDailyRMS(recs []record.Record, worn record.RangeSet, cfg Config) map[int]float64 {
-	samples := FilterWorn(Classify(recs, cfg), worn)
+// MeanRMSByDay computes the per-day mean movement intensity of already
+// classified samples.
+func MeanRMSByDay(samples []Sample) map[int]float64 {
 	sums := make(map[int]float64)
 	counts := make(map[int]int)
 	for _, s := range samples {
@@ -170,4 +168,16 @@ func MeanDailyRMS(recs []record.Record, worn record.RangeSet, cfg Config) map[in
 		out[d] = sum / float64(counts[d])
 	}
 	return out
+}
+
+// DailyWalkingFraction computes the Fig. 4 series for one astronaut: the
+// walking fraction of worn windows per mission day.
+func DailyWalkingFraction(recs []record.Record, worn record.RangeSet, cfg Config) map[int]float64 {
+	return WalkingFractionByDay(FilterWorn(Classify(recs, cfg), worn))
+}
+
+// MeanDailyRMS computes the average movement intensity per day, the paper's
+// "average daily acceleration" companion metric.
+func MeanDailyRMS(recs []record.Record, worn record.RangeSet, cfg Config) map[int]float64 {
+	return MeanRMSByDay(FilterWorn(Classify(recs, cfg), worn))
 }

@@ -112,7 +112,8 @@ func truncate(s string, n int) string {
 
 // Transitions computes the Fig. 2 matrix over the whole crew: passages
 // between the listed rooms after removing atrium crossings, with the
-// pipeline's dwell filter.
+// pipeline's dwell filter. The per-astronaut passage counts are computed in
+// parallel and folded in crew order.
 func (p *Pipeline) Transitions(rooms []habitat.RoomID) TransitionMatrix {
 	if rooms == nil {
 		rooms = Fig2Rooms()
@@ -131,9 +132,13 @@ func (p *Pipeline) Transitions(rooms []habitat.RoomID) TransitionMatrix {
 			excluded = append(excluded, r)
 		}
 	}
-	for _, name := range p.src.Names {
-		ivs := localization.ExcludeRooms(p.Intervals(name), excluded...)
-		for pair, count := range localization.Transitions(ivs) {
+	perName := make([]map[[2]habitat.RoomID]int, len(p.src.Names))
+	p.forEach(len(p.src.Names), func(i int) {
+		ivs := localization.ExcludeRooms(p.Intervals(p.src.Names[i]), excluded...)
+		perName[i] = localization.Transitions(ivs)
+	})
+	for _, counts := range perName {
+		for pair, count := range counts {
 			i, ok1 := idx[pair[0]]
 			j, ok2 := idx[pair[1]]
 			if ok1 && ok2 {
@@ -210,25 +215,25 @@ func (p *Pipeline) WallMassFraction(name string, margin float64) (float64, error
 	return nearWall / total, nil
 }
 
-// WalkingByDay computes the Fig. 4 series for one astronaut.
+// WalkingByDay computes the Fig. 4 series for one astronaut. It shares the
+// worn-filtered activity windows with WalkingFraction, so the daily series
+// and the mission-level Table I column always apply the same worn-time
+// filter.
 func (p *Pipeline) WalkingByDay(name string) map[int]float64 {
-	return activity.DailyWalkingFraction(p.RecordsFor(name), p.WornRanges(name), activity.DefaultConfig())
+	return activity.WalkingFractionByDay(p.walkingSamples(name))
 }
 
 // WalkingFraction computes the astronaut's whole-mission walking fraction
-// (the Table I column).
+// (the Table I column) over the same worn-filtered windows as
+// WalkingByDay — an unworn badge lying still must not deflate it.
 func (p *Pipeline) WalkingFraction(name string) float64 {
-	samples := activity.FilterWorn(
-		activity.Classify(p.RecordsFor(name), activity.DefaultConfig()),
-		p.WornRanges(name),
-	)
-	return activity.WalkingFraction(samples)
+	return activity.WalkingFraction(p.walkingSamples(name))
 }
 
 // MeanAccelByDay computes the "average daily acceleration" companion
 // metric.
 func (p *Pipeline) MeanAccelByDay(name string) map[int]float64 {
-	return activity.MeanDailyRMS(p.RecordsFor(name), p.WornRanges(name), activity.DefaultConfig())
+	return activity.MeanRMSByDay(p.walkingSamples(name))
 }
 
 // StayStats summarizes room-stay durations for the crew — the text's
@@ -245,6 +250,9 @@ type StayStats struct {
 // of at least minStay (use ~10 min to exclude hydration dashes and
 // restroom visits, matching the text's focus on work stays).
 func (p *Pipeline) Stays(minStay time.Duration) []StayStats {
+	// Derive the per-astronaut intervals in parallel; the accumulation
+	// below stays sequential in crew order for deterministic output.
+	p.forEachName(func(name string) { p.Intervals(name) })
 	byRoom := make(map[habitat.RoomID][]float64)
 	for _, name := range p.src.Names {
 		for _, iv := range p.Intervals(name) {

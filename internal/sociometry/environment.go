@@ -28,6 +28,9 @@ type RoomClimate struct {
 // attributed to the room the badge was in at that moment, yielding sensed
 // per-room climate. Worn fixes only, like every localization analysis.
 func (p *Pipeline) RoomClimates() []RoomClimate {
+	// Localize the crew in parallel; the env-sample join below is
+	// sequential in crew order for deterministic mean accumulation.
+	p.forEachName(func(name string) { p.Track(name) })
 	type acc struct {
 		n    int
 		temp float64
@@ -120,6 +123,7 @@ func (g GenderShare) FemaleFraction() float64 {
 // distinguishing between male and female speakers". With the ICAres-1 crew
 // of 3 women and 3 men, the share should be broadly balanced.
 func (p *Pipeline) VoiceGenderShare() GenderShare {
+	p.forEachName(func(name string) { p.Frames(name) })
 	var out GenderShare
 	for _, name := range p.src.Names {
 		for _, f := range p.Frames(name) {

@@ -1,0 +1,54 @@
+package sociometry
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// memo is a goroutine-safe, compute-once-per-key cache. Concurrent callers
+// of the same key are deduplicated in flight: exactly one runs the compute
+// function while the others block on it, so an expensive derivation (a full
+// record concatenation, a localization track) is never done twice for one
+// key no matter how many goroutines race on it.
+type memo[K comparable, V any] struct {
+	mu      sync.Mutex
+	entries map[K]*memoEntry[V]
+	// computes counts compute invocations — the pipeline tests assert
+	// each derivation runs at most once per key.
+	computes atomic.Int64
+}
+
+type memoEntry[V any] struct {
+	once sync.Once
+	val  V
+}
+
+// get returns the memoized value for key, computing it on first use.
+func (m *memo[K, V]) get(key K, compute func(K) V) V {
+	m.mu.Lock()
+	if m.entries == nil {
+		m.entries = make(map[K]*memoEntry[V])
+	}
+	e, ok := m.entries[key]
+	if !ok {
+		e = new(memoEntry[V])
+		m.entries[key] = e
+	}
+	m.mu.Unlock()
+	e.once.Do(func() {
+		m.computes.Add(1)
+		e.val = compute(key)
+	})
+	return e.val
+}
+
+// reset drops every entry (compute counts are kept: they count invocations
+// over the memo's lifetime, across invalidations).
+func (m *memo[K, V]) reset() {
+	m.mu.Lock()
+	m.entries = nil
+	m.mu.Unlock()
+}
+
+// computeCount returns how many times a compute function has run.
+func (m *memo[K, V]) computeCount() int64 { return m.computes.Load() }

@@ -9,6 +9,27 @@
 // (cross-badge analyses are meaningless on skewed clocks), then per-
 // astronaut attribution of badge records via the assignment metadata, then
 // localization, speech, activity, and proximity analyses.
+//
+// # Concurrency
+//
+// A Pipeline is safe for concurrent use. Every per-astronaut derivation
+// (RecordsFor, WornRanges, Track, Intervals, Frames, Presence) is memoized
+// with compute-once-per-key semantics: concurrent callers of the same
+// derivation block on a single in-flight computation instead of repeating
+// it. Clock rectification runs exactly once per *dataset* (not per
+// pipeline), so any number of pipelines — e.g. the true and nominal
+// assignment views over one simulated mission — can share a dataset without
+// re-applying corrections to already-rectified timestamps.
+//
+// Crew-level analyses (Report, TableI, Transitions, Pairwise, Wear,
+// Timeline, ...) fan their per-astronaut work out across a bounded worker
+// pool sized by Parallelism (default runtime.NumCPU) while keeping output
+// deterministic: results are computed into per-astronaut slots and folded
+// in crew order, so equal seeds give byte-identical reports at any width.
+//
+// Analysis parameters (SetMinDwell, SetLocWindow, SetSpeechConfig) may be
+// changed between analyses but must not race with in-flight ones:
+// configure, then analyze.
 package sociometry
 
 import (
@@ -16,8 +37,10 @@ import (
 	"fmt"
 	"time"
 
+	"icares/internal/activity"
 	"icares/internal/habitat"
 	"icares/internal/localization"
+	"icares/internal/proximity"
 	"icares/internal/record"
 	"icares/internal/simtime"
 	"icares/internal/speech"
@@ -37,7 +60,8 @@ type Source struct {
 	// BadgeFor maps (astronaut, mission day) to the badge they wore that
 	// day; 0 means none. Using the nominal deployment mapping here
 	// reproduces the paper's swap/reuse confusion; using the corrected
-	// mapping reproduces the fixed analyses.
+	// mapping reproduces the fixed analyses. Must be pure: the pipeline
+	// memoizes its day-wise inverse.
 	BadgeFor func(name string, day int) store.BadgeID
 	// VoiceProfiles maps astronaut to typical voice fundamental (Hz), for
 	// speaker attribution.
@@ -63,27 +87,61 @@ func (s Source) validate() error {
 	return nil
 }
 
-// Pipeline is a configured analysis over one source.
+// Pipeline is a configured analysis over one source. It is safe for
+// concurrent use; see the package comment for the memoization and
+// determinism guarantees.
 type Pipeline struct {
 	src Source
 
 	// SpeechConfig holds the Fig. 6 thresholds (default: the paper's
-	// 60 dB / 20%).
+	// 60 dB / 20%). Use SetSpeechConfig to change it after analyses ran.
 	SpeechConfig speech.Config
-	// LocWindow is the localization scan window.
+	// LocWindow is the localization scan window. Use SetLocWindow to
+	// change it after analyses ran.
 	LocWindow time.Duration
 	// MinDwell is the Fig. 2 dwell filter (default 10 s; 0 disables).
+	// Use SetMinDwell to change it after analyses ran.
 	MinDwell time.Duration
 	// DisableRectification skips clock correction (ablation only): all
-	// cross-badge analyses then run on skewed local clocks.
+	// cross-badge analyses then run on skewed local clocks. Set it before
+	// the first analysis, on a pipeline that owns its dataset — a dataset
+	// already rectified by another pipeline stays rectified.
 	DisableRectification bool
+	// Parallelism bounds the worker pool of crew-level analyses:
+	// 0 means runtime.NumCPU(), 1 forces sequential execution.
+	Parallelism int
 
-	rectified   bool
+	// rectified/corrections memoize this pipeline's view of the
+	// dataset-level rectification (the dataset itself guards against
+	// double application).
+	rectMu      memoOnce
 	corrections map[store.BadgeID]timesync.Correction
 
-	// caches keyed by astronaut
-	trackCache map[string][]localization.Fix
-	wornCache  map[string]record.RangeSet
+	// Memoized per-astronaut derivations. Dependency order matters for
+	// invalidation scoping (see invalidate):
+	//
+	//	records ── worn ── frames            (speech config)
+	//	   └─ track (loc window) ── intervals (min dwell) ── presence
+	//	   └─ activity (walking windows)
+	recordsCache  memo[string, []record.Record]
+	wornCache     memo[string, record.RangeSet]
+	trackCache    memo[string, []localization.Fix]
+	intervalCache memo[string, []localization.Interval]
+	framesCache   memo[string, []speech.Frame]
+	activityCache memo[string, []activity.Sample]
+	presenceCache memo[struct{}, proximity.Presence]
+	// wearerCache memoizes the per-day BadgeID→astronaut inverse of
+	// BadgeFor, so IR attribution is O(1) per record instead of O(crew).
+	wearerCache memo[int, map[store.BadgeID]string]
+}
+
+// memoOnce is a tiny once-with-reset used for the rectification handshake.
+type memoOnce struct {
+	m memo[struct{}, struct{}]
+}
+
+func (o *memoOnce) do(fn func()) {
+	o.m.get(struct{}{}, func(struct{}) struct{} { fn(); return struct{}{} })
 }
 
 // NewPipeline validates the source and builds a pipeline with the paper's
@@ -97,8 +155,6 @@ func NewPipeline(src Source) (*Pipeline, error) {
 		SpeechConfig: speech.DefaultConfig(),
 		LocWindow:    15 * time.Second,
 		MinDwell:     localization.DefaultMinDwell,
-		trackCache:   make(map[string][]localization.Fix),
-		wornCache:    make(map[string]record.RangeSet),
 	}, nil
 }
 
@@ -112,34 +168,42 @@ func (p *Pipeline) Horizon() time.Duration {
 
 // RectifyClocks estimates each badge's clock correction from its sync
 // records and rewrites the dataset's timestamps to reference (mission)
-// time. It is idempotent and must run before any cross-badge analysis;
-// every analysis method calls it implicitly. Badges without enough sync
-// observations keep their local clocks (correction identity) — their
-// records remain usable for per-badge analyses.
+// time. It must run before any cross-badge analysis; every analysis method
+// calls it implicitly. Badges without enough sync observations keep their
+// local clocks (correction identity) — their records remain usable for
+// per-badge analyses.
+//
+// Rectification is idempotent at the dataset level: the first pipeline to
+// rectify a dataset rewrites the timestamps and records the corrections on
+// the dataset itself; later pipelines over the same dataset (e.g. a second
+// assignment view of one Simulate run) adopt those corrections without
+// re-applying them. Concurrent callers block until the one in-flight
+// rectification completes.
 func (p *Pipeline) RectifyClocks() (map[store.BadgeID]timesync.Correction, error) {
-	if p.rectified {
-		return p.corrections, nil
-	}
-	if p.DisableRectification {
-		p.rectified = true
-		p.corrections = make(map[store.BadgeID]timesync.Correction)
-		return p.corrections, nil
-	}
-	out := make(map[store.BadgeID]timesync.Correction)
-	for _, id := range p.src.Dataset.Badges() {
-		s := p.src.Dataset.Series(id)
-		c, err := timesync.EstimateFromRecords(s.All())
-		if err != nil {
-			// Not enough exchanges: keep local time.
-			out[id] = timesync.Identity()
-			continue
+	p.rectMu.do(func() {
+		if p.DisableRectification && !p.src.Dataset.Rectified() {
+			// Ablation: leave the dataset on skewed local clocks, and do
+			// not mark it rectified — the ablation is pipeline-local.
+			p.corrections = make(map[store.BadgeID]timesync.Correction)
+			return
 		}
-		out[id] = c
-		s.Rectify(c.ToReference)
-	}
-	p.rectified = true
-	p.corrections = out
-	return out, nil
+		p.corrections = p.src.Dataset.RectifyOnce(func() map[store.BadgeID]timesync.Correction {
+			out := make(map[store.BadgeID]timesync.Correction)
+			for _, id := range p.src.Dataset.Badges() {
+				s := p.src.Dataset.Series(id)
+				c, err := timesync.EstimateFromRecords(s.All())
+				if err != nil {
+					// Not enough exchanges: keep local time.
+					out[id] = timesync.Identity()
+					continue
+				}
+				out[id] = c
+				s.Rectify(c.ToReference)
+			}
+			return out
+		})
+	})
+	return p.corrections, nil
 }
 
 // dayRange returns the [start, end) reference times of a mission day.
@@ -149,76 +213,143 @@ func dayRange(day int) (time.Duration, time.Duration) {
 
 // RecordsFor returns the astronaut's records across all data days,
 // concatenated according to the day-wise badge assignment and rectified to
-// mission time.
+// mission time. Computed once per astronaut; the returned slice is a
+// shared read-only view.
 func (p *Pipeline) RecordsFor(name string) []record.Record {
 	if _, err := p.RectifyClocks(); err != nil {
 		return nil
 	}
-	var out []record.Record
-	for day := p.src.FirstDay; day <= p.src.LastDay; day++ {
-		id := p.src.BadgeFor(name, day)
-		if id == 0 {
-			continue
+	return p.recordsCache.get(name, func(name string) []record.Record {
+		var out []record.Record
+		for day := p.src.FirstDay; day <= p.src.LastDay; day++ {
+			id := p.src.BadgeFor(name, day)
+			if id == 0 {
+				continue
+			}
+			from, to := dayRange(day)
+			out = append(out, p.src.Dataset.Series(id).Range(from, to)...)
 		}
-		from, to := dayRange(day)
-		out = append(out, p.src.Dataset.Series(id).Range(from, to)...)
-	}
-	return out
+		return out
+	})
 }
 
-// WornRanges returns the astronaut's badge-worn periods.
+// WornRanges returns the astronaut's badge-worn periods (memoized).
 func (p *Pipeline) WornRanges(name string) record.RangeSet {
-	if got, ok := p.wornCache[name]; ok {
-		return got
-	}
-	worn := record.WornRanges(p.RecordsFor(name), p.Horizon())
-	p.wornCache[name] = worn
-	return worn
+	return p.wornCache.get(name, func(name string) record.RangeSet {
+		return record.WornRanges(p.RecordsFor(name), p.Horizon())
+	})
 }
 
 // Track returns the astronaut's localization fixes while the badge was
 // worn (an unworn badge still scans from wherever it lies, which would
-// corrupt mobility analyses).
+// corrupt mobility analyses). Memoized; the returned slice is a shared
+// read-only view.
 func (p *Pipeline) Track(name string) []localization.Fix {
-	if got, ok := p.trackCache[name]; ok {
-		return got
-	}
-	loc, err := localization.NewLocator(p.src.Habitat)
-	if err != nil {
-		return nil
-	}
-	fixes := loc.Track(p.RecordsFor(name), p.LocWindow)
-	worn := p.WornRanges(name)
-	kept := make([]localization.Fix, 0, len(fixes))
-	for _, f := range fixes {
-		if worn.Contains(f.At) {
-			kept = append(kept, f)
+	return p.trackCache.get(name, func(name string) []localization.Fix {
+		loc, err := localization.NewLocator(p.src.Habitat)
+		if err != nil {
+			return nil
 		}
-	}
-	p.trackCache[name] = kept
-	return kept
+		fixes := loc.Track(p.RecordsFor(name), p.LocWindow)
+		worn := p.WornRanges(name)
+		kept := make([]localization.Fix, 0, len(fixes))
+		for _, f := range fixes {
+			if worn.Contains(f.At) {
+				kept = append(kept, f)
+			}
+		}
+		return kept
+	})
 }
 
 // Intervals returns the astronaut's room-stay intervals with the pipeline's
-// dwell filter applied.
+// dwell filter applied (memoized).
 func (p *Pipeline) Intervals(name string) []localization.Interval {
-	return localization.RoomIntervals(p.Track(name), p.MinDwell, localization.DefaultMaxGap)
+	return p.intervalCache.get(name, func(name string) []localization.Interval {
+		return localization.RoomIntervals(p.Track(name), p.MinDwell, localization.DefaultMaxGap)
+	})
 }
 
-// Frames returns the astronaut's analyzed mic frames while worn.
+// Frames returns the astronaut's analyzed mic frames while worn (memoized).
 func (p *Pipeline) Frames(name string) []speech.Frame {
-	frames := speech.Frames(p.RecordsFor(name), p.SpeechConfig)
-	return speech.FilterWorn(frames, p.WornRanges(name))
+	return p.framesCache.get(name, func(name string) []speech.Frame {
+		frames := speech.Frames(p.RecordsFor(name), p.SpeechConfig)
+		return speech.FilterWorn(frames, p.WornRanges(name))
+	})
 }
 
-// invalidate clears caches (used when analysis parameters change).
-func (p *Pipeline) invalidate() {
-	p.trackCache = make(map[string][]localization.Fix)
-	p.wornCache = make(map[string]record.RangeSet)
+// walkingSamples returns the astronaut's worn-time classified activity
+// windows — the single source for WalkingFraction, WalkingByDay, and
+// MeanAccelByDay, so the mission-level and per-day walking figures always
+// agree on the worn-time filter.
+func (p *Pipeline) walkingSamples(name string) []activity.Sample {
+	return p.activityCache.get(name, func(name string) []activity.Sample {
+		return activity.FilterWorn(
+			activity.Classify(p.RecordsFor(name), activity.DefaultConfig()),
+			p.WornRanges(name),
+		)
+	})
 }
 
-// SetMinDwell changes the dwell filter and clears cached tracks.
+// wearers returns the day's BadgeID→astronaut inverse of the assignment,
+// memoized per day. Like the linear BadgeFor scan it replaces, the first
+// astronaut in crew order wins if two names map to one badge.
+func (p *Pipeline) wearers(day int) map[store.BadgeID]string {
+	return p.wearerCache.get(day, func(day int) map[store.BadgeID]string {
+		out := make(map[store.BadgeID]string, len(p.src.Names))
+		for _, name := range p.src.Names {
+			id := p.src.BadgeFor(name, day)
+			if id == 0 {
+				continue
+			}
+			if _, taken := out[id]; !taken {
+				out[id] = name
+			}
+		}
+		return out
+	})
+}
+
+// wearerOf inverts BadgeFor for one day.
+func (p *Pipeline) wearerOf(id store.BadgeID, day int) (string, bool) {
+	name, ok := p.wearers(day)[id]
+	return name, ok
+}
+
+// invalidation scopes: each parameter setter drops exactly the caches its
+// parameter feeds into (see the dependency sketch on the cache fields).
+func (p *Pipeline) invalidateIntervals() {
+	p.intervalCache.reset()
+	p.presenceCache.reset()
+}
+
+func (p *Pipeline) invalidateTracks() {
+	p.trackCache.reset()
+	p.invalidateIntervals()
+}
+
+func (p *Pipeline) invalidateFrames() {
+	p.framesCache.reset()
+}
+
+// SetMinDwell changes the dwell filter. Only the interval-derived caches
+// are dropped: worn ranges, tracks, and frames do not depend on the dwell
+// filter and stay warm.
 func (p *Pipeline) SetMinDwell(d time.Duration) {
 	p.MinDwell = d
-	p.invalidate()
+	p.invalidateIntervals()
+}
+
+// SetLocWindow changes the localization scan window and drops the track-
+// derived caches.
+func (p *Pipeline) SetLocWindow(w time.Duration) {
+	p.LocWindow = w
+	p.invalidateTracks()
+}
+
+// SetSpeechConfig changes the speech thresholds and drops the mic-frame
+// cache.
+func (p *Pipeline) SetSpeechConfig(cfg speech.Config) {
+	p.SpeechConfig = cfg
+	p.invalidateFrames()
 }

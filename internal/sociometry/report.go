@@ -14,16 +14,27 @@ import (
 
 // Report renders the complete post-mission analysis as a markdown document
 // — the deliverable a sociometric team hands the mission organizers, and
-// the single artifact that exercises every analysis in the package.
+// the single artifact that exercises every analysis in the package. The
+// per-astronaut derivations are warmed concurrently and the independent
+// sections render in parallel; the document is assembled in fixed section
+// order, so equal seeds give byte-identical reports at any Parallelism.
 func (p *Pipeline) Report() string {
+	p.Warm()
+	sections := []func(*strings.Builder){
+		p.reportDataset,
+		p.reportTransitions,
+		p.reportMobility,
+		p.reportSpeech,
+		p.reportSocial,
+		p.reportEnvironment,
+	}
+	rendered := make([]strings.Builder, len(sections))
+	p.forEach(len(sections), func(i int) { sections[i](&rendered[i]) })
 	var b strings.Builder
 	b.WriteString("# Mission sociometric report\n\n")
-	p.reportDataset(&b)
-	p.reportTransitions(&b)
-	p.reportMobility(&b)
-	p.reportSpeech(&b)
-	p.reportSocial(&b)
-	p.reportEnvironment(&b)
+	for i := range rendered {
+		b.WriteString(rendered[i].String())
+	}
 	return b.String()
 }
 

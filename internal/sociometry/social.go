@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"icares/internal/localization"
 	"icares/internal/proximity"
 	"icares/internal/record"
 	"icares/internal/simtime"
@@ -14,13 +15,20 @@ import (
 )
 
 // Presence assembles the proximity input: per astronaut, the worn-time room
-// intervals.
+// intervals. The per-astronaut intervals are derived in parallel and the
+// whole map is memoized (invalidated by SetMinDwell/SetLocWindow).
 func (p *Pipeline) Presence() proximity.Presence {
-	out := make(proximity.Presence, len(p.src.Names))
-	for _, name := range p.src.Names {
-		out[name] = p.Intervals(name)
-	}
-	return out
+	return p.presenceCache.get(struct{}{}, func(struct{}) proximity.Presence {
+		ivs := make([][]localization.Interval, len(p.src.Names))
+		p.forEach(len(p.src.Names), func(i int) {
+			ivs[i] = p.Intervals(p.src.Names[i])
+		})
+		out := make(proximity.Presence, len(p.src.Names))
+		for i, name := range p.src.Names {
+			out[name] = ivs[i]
+		}
+		return out
+	})
 }
 
 // SpeechByDay computes the Fig. 6 series for one astronaut: fraction of
@@ -33,6 +41,9 @@ func (p *Pipeline) SpeechByDay(name string) map[int]float64 {
 // returns the Mann-Kendall tau — negative when the crew talked less as the
 // mission progressed, the trend the paper reports.
 func (p *Pipeline) SpeechTrend() (slopePerDay float64, tau float64) {
+	// Analyze the crew's mic frames in parallel; aggregate sequentially in
+	// crew order for deterministic floating-point results.
+	p.forEachName(func(name string) { p.Frames(name) })
 	perDay := make(map[int][]float64)
 	for _, name := range p.src.Names {
 		for day, f := range p.SpeechByDay(name) {
@@ -211,7 +222,11 @@ func (p *Pipeline) TableI() []TableIRow {
 	companyVals := make([]float64, len(p.src.Names))
 	talkingVals := make([]float64, len(p.src.Names))
 	walkingVals := make([]float64, len(p.src.Names))
-	for i, name := range p.src.Names {
+	// The talking and walking columns are independent per astronaut: fan
+	// them out, writing into per-index slots so the table order (and the
+	// normalization input vectors) stay deterministic.
+	p.forEach(len(p.src.Names), func(i int) {
+		name := p.src.Names[i]
 		if enough(name) {
 			companyVals[i] = company[name].Seconds()
 		} else {
@@ -219,7 +234,7 @@ func (p *Pipeline) TableI() []TableIRow {
 		}
 		talkingVals[i] = p.TalkingFraction(name)
 		walkingVals[i] = p.WalkingFraction(name)
-	}
+	})
 	companyN := stats.Normalize(companyVals)
 	talkingN := stats.Normalize(talkingVals)
 	walkingN := stats.Normalize(walkingVals)
@@ -261,10 +276,15 @@ func (p *Pipeline) Pairwise() PairwiseReport {
 }
 
 // irPairTime maps IR records through the day-wise assignment to astronaut
-// pairs.
+// pairs. Peer attribution uses the memoized per-day BadgeID→name inverse
+// (wearers), so each IR record costs O(1) instead of an O(crew) scan of
+// BadgeFor. The per-astronaut contact lists are collected in parallel and
+// concatenated in crew order, preserving the sequential contact ordering.
 func (p *Pipeline) irPairTime() map[proximity.Pair]time.Duration {
-	var contacts []proximity.Contact
-	for _, name := range p.src.Names {
+	perName := make([][]proximity.Contact, len(p.src.Names))
+	p.forEach(len(p.src.Names), func(i int) {
+		name := p.src.Names[i]
+		var contacts []proximity.Contact
 		for day := p.src.FirstDay; day <= p.src.LastDay; day++ {
 			id := p.src.BadgeFor(name, day)
 			if id == 0 {
@@ -279,18 +299,13 @@ func (p *Pipeline) irPairTime() map[proximity.Pair]time.Duration {
 				contacts = append(contacts, proximity.Contact{At: r.Local, A: name, B: peer})
 			}
 		}
+		perName[i] = contacts
+	})
+	var contacts []proximity.Contact
+	for _, cs := range perName {
+		contacts = append(contacts, cs...)
 	}
 	return proximity.IRPairTime(contacts, 15*time.Second)
-}
-
-// wearerOf inverts BadgeFor for one day.
-func (p *Pipeline) wearerOf(id store.BadgeID, day int) (string, bool) {
-	for _, name := range p.src.Names {
-		if p.src.BadgeFor(name, day) == id {
-			return name, true
-		}
-	}
-	return "", false
 }
 
 // Meetings detects crew meetings (>= 2 people, >= minDur) from worn-time
@@ -396,8 +411,12 @@ func daytimeRange(day int) record.TimeRange {
 	return record.TimeRange{From: start + 8*time.Hour, To: start + 22*time.Hour}
 }
 
-// Wear computes the usage statistics across the crew and data days.
+// Wear computes the usage statistics across the crew and data days. The
+// per-astronaut records and worn ranges are derived in parallel; the
+// floating-point accumulation below stays sequential in crew order so the
+// result is byte-identical at any Parallelism.
 func (p *Pipeline) Wear() WearStats {
+	p.forEachName(func(name string) { p.WornRanges(name) })
 	out := WearStats{ByDay: make(map[int]float64), TotalBytes: p.src.Dataset.EncodedBytes()}
 	var wornSum, activeSum, persons float64
 	dayWorn := make(map[int]float64)

@@ -38,7 +38,11 @@ func (p *Pipeline) Timeline(day int, binSize time.Duration) DayTimeline {
 	nBins := int((end - start) / binSize)
 	out := DayTimeline{Day: day, BinSize: binSize, Rows: make(map[string][]TimelineBin)}
 
-	for _, name := range p.src.Names {
+	// Each astronaut's row is independent: bin them in parallel, then
+	// assemble the map sequentially.
+	rows := make([][]TimelineBin, len(p.src.Names))
+	p.forEach(len(p.src.Names), func(ni int) {
+		name := p.src.Names[ni]
 		bins := make([]TimelineBin, nBins)
 		for i := range bins {
 			bins[i].Start = start + time.Duration(i)*binSize
@@ -84,7 +88,10 @@ func (p *Pipeline) Timeline(day int, binSize time.Duration) DayTimeline {
 				bins[i].SpeechFraction = float64(a.speech) / float64(a.total)
 			}
 		}
-		out.Rows[name] = bins
+		rows[ni] = bins
+	})
+	for i, name := range p.src.Names {
+		out.Rows[name] = rows[i]
 	}
 	return out
 }

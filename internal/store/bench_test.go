@@ -35,7 +35,7 @@ func BenchmarkSeriesAppend(b *testing.B) {
 
 func BenchmarkSeriesRangeQuery(b *testing.B) {
 	s := benchSeries(100_000)
-	s.ensureSorted()
+	s.sorted()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -12,9 +12,11 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 	"time"
 
 	"icares/internal/record"
+	"icares/internal/timesync"
 )
 
 // BadgeID identifies a badge (and, via assignment, usually an astronaut).
@@ -22,8 +24,17 @@ type BadgeID uint16
 
 // Series is the time-ordered record log of one badge. Appends may arrive
 // slightly out of order (opportunistic radio exchanges); the series sorts
-// lazily before reads. Not safe for concurrent use.
+// lazily before reads.
+//
+// Concurrency: any number of readers (All, Range, Kind, First, Last, Len)
+// may run concurrently — the lazy sort is internally synchronized. Writers
+// (Append, Rectify) are themselves synchronized against each other and
+// against the sort, but they mutate the backing array in place, so callers
+// must not write while another goroutine still uses a previously returned
+// view. The analysis pipeline guarantees this by rectifying exactly once
+// before any concurrent reads begin.
 type Series struct {
+	mu    sync.RWMutex
 	recs  []record.Record
 	dirty bool
 	bytes int64
@@ -31,6 +42,8 @@ type Series struct {
 
 // Append adds a record to the series.
 func (s *Series) Append(r record.Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if n := len(s.recs); n > 0 && r.Local < s.recs[n-1].Local {
 		s.dirty = true
 	}
@@ -41,35 +54,53 @@ func (s *Series) Append(r record.Record) {
 }
 
 // Len returns the number of records.
-func (s *Series) Len() int { return len(s.recs) }
+func (s *Series) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.recs)
+}
 
 // EncodedBytes returns the total encoded size of the series.
-func (s *Series) EncodedBytes() int64 { return s.bytes }
+func (s *Series) EncodedBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bytes
+}
 
-func (s *Series) ensureSorted() {
+// sorted returns the time-ordered record slice, sorting first if any
+// out-of-order append left the series dirty.
+func (s *Series) sorted() []record.Record {
+	s.mu.RLock()
 	if !s.dirty {
-		return
+		recs := s.recs
+		s.mu.RUnlock()
+		return recs
 	}
-	sort.SliceStable(s.recs, func(i, j int) bool {
-		return s.recs[i].Local < s.recs[j].Local
-	})
-	s.dirty = false
+	s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dirty {
+		sort.SliceStable(s.recs, func(i, j int) bool {
+			return s.recs[i].Local < s.recs[j].Local
+		})
+		s.dirty = false
+	}
+	return s.recs
 }
 
 // All returns the full, time-ordered record slice. The returned slice is a
 // read-only view; callers must not modify it.
 func (s *Series) All() []record.Record {
-	s.ensureSorted()
-	return s.recs
+	return s.sorted()
 }
 
 // Range returns the records with timestamps in [from, to) as a read-only
 // view.
 func (s *Series) Range(from, to time.Duration) []record.Record {
-	s.ensureSorted()
-	lo := sort.Search(len(s.recs), func(i int) bool { return s.recs[i].Local >= from })
-	hi := sort.Search(len(s.recs), func(i int) bool { return s.recs[i].Local >= to })
-	return s.recs[lo:hi]
+	recs := s.sorted()
+	lo := sort.Search(len(recs), func(i int) bool { return recs[i].Local >= from })
+	hi := sort.Search(len(recs), func(i int) bool { return recs[i].Local >= to })
+	return recs[lo:hi]
 }
 
 // Kind returns all records of one kind, in time order (allocates).
@@ -111,17 +142,30 @@ func (s *Series) Last() (record.Record, bool) {
 }
 
 // Rectify applies fn to every timestamp, e.g. converting local badge time
-// to mission time after timesync estimation, and re-sorts.
+// to mission time after timesync estimation, and re-sorts. Like Append it
+// must not run concurrently with readers holding views; use
+// Dataset.RectifyOnce to serialize dataset-wide rectification.
 func (s *Series) Rectify(fn func(time.Duration) time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for i := range s.recs {
 		s.recs[i].Local = fn(s.recs[i].Local)
 	}
 	s.dirty = true
 }
 
-// Dataset groups the series of all badges in one mission.
+// Dataset groups the series of all badges in one mission. Safe for
+// concurrent use with the same reader/writer discipline as Series.
 type Dataset struct {
+	mu     sync.RWMutex
 	series map[BadgeID]*Series
+
+	// Rectification is a dataset-level, compute-once property: timestamps
+	// are rewritten in place, so applying clock corrections twice would
+	// skew every record. RectifyOnce below guards the transition.
+	rectMu      sync.Mutex
+	rectified   bool
+	corrections map[BadgeID]timesync.Correction
 }
 
 // NewDataset creates an empty dataset.
@@ -131,32 +175,46 @@ func NewDataset() *Dataset {
 
 // Series returns the series of a badge, creating it if absent.
 func (d *Dataset) Series(id BadgeID) *Series {
+	d.mu.RLock()
 	s, ok := d.series[id]
-	if !ok {
-		s = &Series{}
-		d.series[id] = s
+	d.mu.RUnlock()
+	if ok {
+		return s
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if s, ok := d.series[id]; ok {
+		return s
+	}
+	s = &Series{}
+	d.series[id] = s
 	return s
 }
 
 // Has reports whether the dataset contains any records for the badge.
 func (d *Dataset) Has(id BadgeID) bool {
+	d.mu.RLock()
 	s, ok := d.series[id]
+	d.mu.RUnlock()
 	return ok && s.Len() > 0
 }
 
 // Badges returns the badge IDs present, sorted.
 func (d *Dataset) Badges() []BadgeID {
+	d.mu.RLock()
 	out := make([]BadgeID, 0, len(d.series))
 	for id := range d.series {
 		out = append(out, id)
 	}
+	d.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // TotalRecords returns the record count across all badges.
 func (d *Dataset) TotalRecords() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	var n int
 	for _, s := range d.series {
 		n += s.Len()
@@ -167,11 +225,39 @@ func (d *Dataset) TotalRecords() int {
 // EncodedBytes returns the total encoded size across all badges — the
 // figure corresponding to the paper's "150 GiB of data".
 func (d *Dataset) EncodedBytes() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	var n int64
 	for _, s := range d.series {
 		n += s.EncodedBytes()
 	}
 	return n
+}
+
+// RectifyOnce runs the dataset-wide clock rectification exactly once.
+// The first caller's rectify function is invoked (it should estimate the
+// per-badge corrections and rewrite each series via Series.Rectify) and its
+// corrections are recorded; every later caller — including pipelines built
+// over the same dataset under a different assignment view — gets the
+// recorded corrections back without touching the timestamps again.
+// Concurrent callers block until the first rectification completes.
+func (d *Dataset) RectifyOnce(rectify func() map[BadgeID]timesync.Correction) map[BadgeID]timesync.Correction {
+	d.rectMu.Lock()
+	defer d.rectMu.Unlock()
+	if d.rectified {
+		return d.corrections
+	}
+	d.corrections = rectify()
+	d.rectified = true
+	return d.corrections
+}
+
+// Rectified reports whether the dataset's timestamps have already been
+// rewritten to reference time by RectifyOnce.
+func (d *Dataset) Rectified() bool {
+	d.rectMu.Lock()
+	defer d.rectMu.Unlock()
+	return d.rectified
 }
 
 // ErrNoData is returned when loading an empty or missing dataset.
@@ -187,7 +273,13 @@ func (d *Dataset) Save(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("save dataset: %w", err)
 	}
+	d.mu.RLock()
+	series := make(map[BadgeID]*Series, len(d.series))
 	for id, s := range d.series {
+		series[id] = s
+	}
+	d.mu.RUnlock()
+	for id, s := range series {
 		if err := d.saveOne(dir, id, s); err != nil {
 			return err
 		}

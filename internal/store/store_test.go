@@ -3,12 +3,15 @@ package store
 import (
 	"errors"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 	"time"
 
 	"icares/internal/record"
 	"icares/internal/stats"
+	"icares/internal/timesync"
 )
 
 func mkRec(at time.Duration, k record.Kind) record.Record {
@@ -230,5 +233,120 @@ func TestQuickRangeMatchesLinearScan(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestSeriesConcurrentReadersOnDirtySeries(t *testing.T) {
+	// Out-of-order appends leave the series dirty; concurrent readers then
+	// race to trigger the lazy sort. Run with -race.
+	var s Series
+	rng := stats.NewRNG(3)
+	for i := 0; i < 5000; i++ {
+		s.Append(mkRec(time.Duration(rng.Intn(5000))*time.Second, record.KindBeacon))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			switch g % 4 {
+			case 0:
+				if got := len(s.All()); got != 5000 {
+					t.Errorf("All len = %d", got)
+				}
+			case 1:
+				recs := s.Range(100*time.Second, 2000*time.Second)
+				for i := 1; i < len(recs); i++ {
+					if recs[i].Local < recs[i-1].Local {
+						t.Error("range not sorted")
+						return
+					}
+				}
+			case 2:
+				s.Kind(record.KindBeacon)
+				s.First()
+				s.Last()
+			case 3:
+				if s.Len() != 5000 {
+					t.Error("bad len")
+				}
+				_ = s.EncodedBytes()
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestDatasetConcurrentSeriesCreation(t *testing.T) {
+	// Many goroutines ask for the same small set of badges: each badge must
+	// resolve to exactly one Series instance.
+	d := NewDataset()
+	const goroutines, badges = 16, 5
+	got := make([][badges]*Series, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for b := 0; b < badges; b++ {
+				got[g][(b+g)%badges] = d.Series(BadgeID((b+g)%badges + 1))
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for b := 0; b < badges; b++ {
+			if got[g][b] != got[0][b] {
+				t.Fatalf("badge %d: goroutine %d got a different Series instance", b+1, g)
+			}
+		}
+	}
+	if got := len(d.Badges()); got != badges {
+		t.Errorf("badges = %d, want %d", got, badges)
+	}
+}
+
+func TestDatasetRectifyOnce(t *testing.T) {
+	d := NewDataset()
+	s := d.Series(1)
+	s.Append(mkRec(10*time.Second, record.KindAccel))
+	if d.Rectified() {
+		t.Fatal("fresh dataset already rectified")
+	}
+
+	var calls atomic.Int64
+	rectify := func() map[BadgeID]timesync.Correction {
+		calls.Add(1)
+		s.Rectify(func(ts time.Duration) time.Duration { return ts + time.Second })
+		return map[BadgeID]timesync.Correction{1: {Offset: time.Second}}
+	}
+
+	// Concurrent first rectification: exactly one caller runs it, everyone
+	// gets the same corrections back.
+	const goroutines = 8
+	results := make([]map[BadgeID]timesync.Correction, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g] = d.RectifyOnce(rectify)
+		}(g)
+	}
+	wg.Wait()
+
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("rectify ran %d times", n)
+	}
+	for g := 0; g < goroutines; g++ {
+		if results[g][1].Offset != time.Second {
+			t.Errorf("goroutine %d corrections = %v", g, results[g])
+		}
+	}
+	if !d.Rectified() {
+		t.Error("dataset not marked rectified")
+	}
+	if got, _ := s.First(); got.Local != 11*time.Second {
+		t.Errorf("timestamp = %v, want 11s (rectified exactly once)", got.Local)
 	}
 }
