@@ -26,6 +26,8 @@ import (
 	"fmt"
 	"time"
 
+	"icares/internal/faultplan"
+	"icares/internal/habitat"
 	"icares/internal/mission"
 	"icares/internal/sociometry"
 	"icares/internal/stats"
@@ -44,6 +46,10 @@ type Options struct {
 	Days int
 	// CollectTruth retains ground-truth behaviour samples for validation.
 	CollectTruth bool
+	// Faults applies a deterministic fault schedule to the run (badge
+	// death/reboot windows, sync-exchange dropouts); build one with
+	// ChaosPlan or faultplan.New. Nil injects nothing.
+	Faults *faultplan.Plan
 }
 
 // AssignmentView selects which badge-to-astronaut mapping an analysis uses.
@@ -75,6 +81,7 @@ func Simulate(opts Options) (*Mission, error) {
 		Seed:         opts.Seed,
 		Scenario:     sc,
 		CollectTruth: opts.CollectTruth,
+		Faults:       opts.Faults,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("simulate: %w", err)
@@ -156,6 +163,29 @@ func (m *Mission) SupportSystem() (*support.Daemon, *support.Replayer) {
 // ICAres-1 20-minute one-way delay.
 func MissionControlLink() *uplink.Link {
 	return uplink.NewLink(uplink.DefaultDelay)
+}
+
+// ChaosPlan generates a randomized-but-seeded fault schedule sized for a
+// mission of the given length, scoped to the standard habitat's rooms and
+// the personal badges. The same seed always reproduces the identical event
+// trace; feed the plan to Options.Faults, wrap offload transports in
+// faultplan.Transport, and install its blackouts on an uplink.Link to
+// subject the whole online path to one coherent failure story.
+func ChaosPlan(seed uint64, days int) *faultplan.Plan {
+	var badges []store.BadgeID
+	for id := mission.BadgeA; id <= mission.BadgeF; id++ {
+		badges = append(badges, store.BadgeID(id))
+	}
+	var zones []string
+	for _, id := range habitat.Standard().RoomIDs() {
+		zones = append(zones, id.String())
+	}
+	return faultplan.Generate(faultplan.GenConfig{
+		Seed:   seed,
+		Days:   days,
+		Badges: badges,
+		Zones:  zones,
+	})
 }
 
 // Council creates the consensus-approval body over this mission's crew and

@@ -148,6 +148,12 @@ func (b *Badge) Failed() bool { return b.failed }
 // Fail kills the badge permanently (fault injection).
 func (b *Badge) Fail() { b.failed = true }
 
+// Revive reboots a failed badge (fault-injection death/reboot windows).
+// Battery level, clock, and the record series persist across the reboot —
+// they live in the battery gauge, the oscillator, and flash/SD — so a
+// revived badge resumes sampling where it left off.
+func (b *Badge) Revive() { b.failed = false }
+
 // Pos returns the last known device position.
 func (b *Badge) Pos() geometry.Point { return b.pos }
 

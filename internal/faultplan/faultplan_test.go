@@ -1,0 +1,260 @@
+package faultplan
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"icares/internal/offload"
+	"icares/internal/record"
+	"icares/internal/store"
+	"icares/internal/uplink"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GenConfig{
+		Seed:   99,
+		Days:   3,
+		Badges: []store.BadgeID{1, 2, 3},
+		Zones:  []string{"galley", "lab"},
+	}
+	a, b := Generate(cfg), Generate(cfg)
+	if !reflect.DeepEqual(a.Events(), b.Events()) {
+		t.Fatal("equal configs produced different event traces")
+	}
+	if a.Seed() != 99 {
+		t.Errorf("seed = %d", a.Seed())
+	}
+	cfg.Seed = 100
+	if reflect.DeepEqual(a.Events(), Generate(cfg).Events()) {
+		t.Error("different seeds produced identical traces")
+	}
+	// The day-scaled defaults must actually materialize every kind.
+	for _, k := range []Kind{RFOutage, BadgeDeath, GatewayCrash, UplinkBlackout, SyncDropout, FrameCorruption} {
+		if len(a.Windows(k)) == 0 {
+			t.Errorf("no %v windows generated", k)
+		}
+	}
+	// Windows stay inside the mission span.
+	span := 3 * 24 * time.Hour
+	for _, e := range a.Events() {
+		if e.From < 0 || e.To > span || e.From >= e.To {
+			t.Errorf("window out of span: %v", e)
+		}
+	}
+}
+
+func TestEventsAreSortedAndCopied(t *testing.T) {
+	p := New(7,
+		Event{Kind: BadgeDeath, From: 2 * time.Hour, To: 3 * time.Hour, Badge: 2},
+		Event{Kind: RFOutage, From: time.Hour, To: 90 * time.Minute},
+		Event{Kind: BadgeDeath, From: 2 * time.Hour, To: 4 * time.Hour, Badge: 1},
+	)
+	evs := p.Events()
+	if evs[0].Kind != RFOutage || evs[1].Badge != 1 || evs[2].Badge != 2 {
+		t.Fatalf("trace order wrong: %v", evs)
+	}
+	evs[0].Kind = GatewayCrash // mutating the copy must not corrupt the plan
+	if p.Events()[0].Kind != RFOutage {
+		t.Error("Events returned a live reference")
+	}
+}
+
+func TestQuerySemantics(t *testing.T) {
+	p := New(1,
+		Event{Kind: RFOutage, From: time.Hour, To: 2 * time.Hour, Zone: "lab"},
+		Event{Kind: RFOutage, From: 3 * time.Hour, To: 4 * time.Hour}, // habitat-wide
+		Event{Kind: BadgeDeath, From: 5 * time.Hour, To: 6 * time.Hour, Badge: 3},
+		Event{Kind: BadgeDeath, From: 7 * time.Hour, To: 8 * time.Hour}, // all badges
+		Event{Kind: GatewayCrash, From: 9 * time.Hour, To: 10 * time.Hour},
+		Event{Kind: UplinkBlackout, From: 11 * time.Hour, To: 12 * time.Hour},
+		Event{Kind: SyncDropout, From: 13 * time.Hour, To: 14 * time.Hour, Badge: 4},
+	)
+
+	// Zone-scoped outage hits only its zone; habitat-wide hits everyone,
+	// including callers that do not know their zone.
+	if !p.RFOut("lab", 90*time.Minute) || p.RFOut("galley", 90*time.Minute) || p.RFOut("", 90*time.Minute) {
+		t.Error("zone-scoped RF outage semantics wrong")
+	}
+	if !p.RFOut("lab", 210*time.Minute) || !p.RFOut("", 210*time.Minute) {
+		t.Error("habitat-wide RF outage semantics wrong")
+	}
+	// Windows are half-open [From, To).
+	if p.RFOut("lab", time.Hour-time.Nanosecond) || !p.RFOut("lab", time.Hour) || p.RFOut("lab", 2*time.Hour) {
+		t.Error("window boundaries not half-open")
+	}
+
+	if !p.BadgeDown(3, 330*time.Minute) || p.BadgeDown(2, 330*time.Minute) {
+		t.Error("badge-scoped death semantics wrong")
+	}
+	if !p.BadgeDown(1, 450*time.Minute) || !p.BadgeDown(6, 450*time.Minute) {
+		t.Error("badge 0 wildcard death semantics wrong")
+	}
+
+	if !p.GatewayDown(9*time.Hour+time.Minute) || p.GatewayDown(10*time.Hour) {
+		t.Error("gateway crash window wrong")
+	}
+	if !p.UplinkDown(11*time.Hour+time.Minute) || p.UplinkDown(13*time.Hour) {
+		t.Error("uplink blackout window wrong")
+	}
+	if !p.SyncDropped(4, 13*time.Hour+time.Minute) || p.SyncDropped(5, 13*time.Hour+time.Minute) {
+		t.Error("sync dropout semantics wrong")
+	}
+}
+
+func TestCorruptFrameDeterministic(t *testing.T) {
+	always := New(11, Event{Kind: FrameCorruption, From: 0, To: time.Hour, Prob: 1})
+	never := New(11, Event{Kind: FrameCorruption, From: 0, To: time.Hour, Prob: 0})
+	for seq := uint64(0); seq < 20; seq++ {
+		if !always.CorruptFrame(1, seq, 30*time.Minute) {
+			t.Fatal("prob 1 window missed a frame")
+		}
+		if never.CorruptFrame(1, seq, 30*time.Minute) {
+			t.Fatal("prob 0 window corrupted a frame")
+		}
+	}
+	if always.CorruptFrame(1, 0, time.Hour) {
+		t.Error("corruption outside the window")
+	}
+
+	// Per-frame decisions are pure: a retransmission of (badge, seq) inside
+	// the window corrupts identically, and an equal-seed plan reproduces the
+	// whole pattern.
+	p := New(42, Event{Kind: FrameCorruption, From: 0, To: time.Hour, Prob: 0.3})
+	q := New(42, Event{Kind: FrameCorruption, From: 0, To: time.Hour, Prob: 0.3})
+	hits := 0
+	const trials = 2000
+	for seq := uint64(0); seq < trials; seq++ {
+		a := p.CorruptFrame(2, seq, 10*time.Minute)
+		if a != p.CorruptFrame(2, seq, 50*time.Minute) {
+			t.Fatal("same window, same frame, different decision")
+		}
+		if a != q.CorruptFrame(2, seq, 10*time.Minute) {
+			t.Fatal("equal seeds disagreed on corruption")
+		}
+		if a {
+			hits++
+		}
+	}
+	if f := float64(hits) / trials; f < 0.25 || f > 0.35 {
+		t.Errorf("corruption frequency %.3f, want ~0.30", f)
+	}
+	// A different seed must reshuffle the pattern.
+	r := New(43, Event{Kind: FrameCorruption, From: 0, To: time.Hour, Prob: 0.3})
+	same := 0
+	for seq := uint64(0); seq < trials; seq++ {
+		if p.CorruptFrame(2, seq, 10*time.Minute) == r.CorruptFrame(2, seq, 10*time.Minute) {
+			same++
+		}
+	}
+	if same == trials {
+		t.Error("different seeds produced identical corruption patterns")
+	}
+}
+
+func TestTransportInjection(t *testing.T) {
+	p := New(5,
+		Event{Kind: BadgeDeath, From: time.Hour, To: 2 * time.Hour, Badge: 1},
+		Event{Kind: GatewayCrash, From: 3 * time.Hour, To: 4 * time.Hour},
+		Event{Kind: RFOutage, From: 5 * time.Hour, To: 6 * time.Hour, Zone: "lab"},
+		Event{Kind: FrameCorruption, From: 7 * time.Hour, To: 8 * time.Hour, Prob: 1},
+	)
+	var now time.Duration
+	delivered := 0
+	inner := offload.TransportFunc(func(offload.Batch) bool { delivered++; return true })
+	tr := NewTransport(p, func() time.Duration { return now }, inner)
+	zone := ""
+	tr.Zone = func() string { return zone }
+
+	b := offload.Batch{Badge: 1, Seq: 0, Records: []record.Record{{Kind: record.KindAccel, Local: time.Second}}}
+
+	now = 30 * time.Minute // clean air
+	if !tr.Deliver(b) || delivered != 1 {
+		t.Fatal("clean delivery failed")
+	}
+	now = 90 * time.Minute // badge dead
+	if tr.Deliver(b) || delivered != 1 {
+		t.Fatal("dead badge delivered")
+	}
+	now = 3*time.Hour + time.Minute // gateway crashed
+	if tr.Deliver(b) {
+		t.Fatal("crashed gateway delivered")
+	}
+	now = 5*time.Hour + time.Minute // RF outage scoped to lab
+	zone = "lab"
+	if tr.Deliver(b) {
+		t.Fatal("RF outage delivered")
+	}
+	zone = "galley"
+	if !tr.Deliver(b) {
+		t.Fatal("outage leaked across zones")
+	}
+	now = 7*time.Hour + time.Minute // corruption window, prob 1
+	if tr.Deliver(b) {
+		t.Fatal("corrupted frame passed the CRC")
+	}
+	dropped, corrupted := tr.Stats()
+	if dropped != 3 || corrupted != 1 {
+		t.Errorf("stats = (%d dropped, %d corrupted), want (3, 1)", dropped, corrupted)
+	}
+
+	// Plan-less and inner-less transports degrade sanely.
+	if !(&Transport{Inner: inner, Now: func() time.Duration { return 0 }}).Deliver(b) {
+		t.Error("nil plan should pass through")
+	}
+	if (&Transport{Plan: p}).Deliver(b) {
+		t.Error("nil inner should refuse")
+	}
+}
+
+func TestInstallBlackouts(t *testing.T) {
+	p := New(2,
+		Event{Kind: UplinkBlackout, From: time.Hour, To: 2 * time.Hour},
+		Event{Kind: UplinkBlackout, From: 5 * time.Hour, To: 6 * time.Hour},
+		Event{Kind: RFOutage, From: 0, To: time.Hour},
+	)
+	l := uplink.NewLink(20 * time.Minute)
+	if n := p.InstallBlackouts(l); n != 2 {
+		t.Fatalf("installed %d blackouts, want 2", n)
+	}
+	if !l.Blacked(90*time.Minute) || l.Blacked(3*time.Hour) || !l.Blacked(5*time.Hour) {
+		t.Error("installed windows wrong")
+	}
+}
+
+func TestReplayGate(t *testing.T) {
+	p := New(3,
+		Event{Kind: BadgeDeath, From: time.Hour, To: 2 * time.Hour, Badge: 2},
+		Event{Kind: RFOutage, From: 3 * time.Hour, To: 4 * time.Hour}, // habitat-wide
+		Event{Kind: RFOutage, From: 5 * time.Hour, To: 6 * time.Hour, Zone: "lab"},
+	)
+	gate := p.ReplayGate()
+	if !gate(1, 90*time.Minute) || gate(2, 90*time.Minute) {
+		t.Error("badge death gating wrong")
+	}
+	if gate(1, 210*time.Minute) {
+		t.Error("habitat-wide outage not gated")
+	}
+	// Zone-scoped outages do not gate the replay (the replayer has no room
+	// knowledge; only habitat-wide outages suppress ingestion).
+	if !gate(1, 330*time.Minute) {
+		t.Error("zone-scoped outage wrongly gated the replay")
+	}
+}
+
+func TestTraceRendering(t *testing.T) {
+	p := New(8,
+		Event{Kind: RFOutage, From: time.Hour, To: 2 * time.Hour, Zone: "lab"},
+		Event{Kind: FrameCorruption, From: 0, To: time.Hour, Badge: 3, Prob: 0.125},
+	)
+	s := p.String()
+	for _, want := range []string{"seed=8", "events=2", "rf-outage", "zone=lab", "frame-corruption", "p=0.125"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("trace missing %q:\n%s", want, s)
+		}
+	}
+	if Kind(99).String() != "kind(99)" {
+		t.Error("unknown kind string")
+	}
+}

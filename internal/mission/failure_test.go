@@ -1,8 +1,11 @@
 package mission
 
 import (
+	"reflect"
 	"testing"
+	"time"
 
+	"icares/internal/faultplan"
 	"icares/internal/record"
 	"icares/internal/store"
 )
@@ -82,5 +85,57 @@ func TestTotalBLEOutageStillRunsMission(t *testing.T) {
 		if len(s.Kind(k)) == 0 {
 			t.Errorf("no %v records under BLE outage", k)
 		}
+	}
+}
+
+func TestFaultPlanMissionIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mission run in -short mode")
+	}
+	sc := DefaultScenario(17)
+	sc.Days = 2
+	run := func(plan *faultplan.Plan) *Result {
+		res, err := Run(Config{Seed: 17, Scenario: sc, Faults: plan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(nil)
+	// One badge dies mid-day-2 and reboots; every badge's sync exchanges
+	// drop for part of the night before.
+	deadFrom, deadTo := 35*time.Hour, 39*time.Hour
+	plan := faultplan.New(5,
+		faultplan.Event{Kind: faultplan.BadgeDeath, From: deadFrom, To: deadTo, Badge: store.BadgeID(BadgeB)},
+		faultplan.Event{Kind: faultplan.SyncDropout, From: 26 * time.Hour, To: 30 * time.Hour},
+	)
+	faulty := run(plan)
+
+	// Same seed, same plan: the whole dataset reproduces bit-identically.
+	again := run(plan)
+	for _, id := range faulty.Dataset.Badges() {
+		if !reflect.DeepEqual(faulty.Dataset.Series(id).All(), again.Dataset.Series(id).All()) {
+			t.Fatalf("badge %d: fault-injected run not deterministic", id)
+		}
+	}
+
+	// The dead badge records nothing inside its window (margin absorbs the
+	// badge-local clock drift) and strictly less than the fault-free run.
+	b := store.BadgeID(BadgeB)
+	margin := 10 * time.Minute
+	if n := len(faulty.Dataset.Series(b).Range(deadFrom+margin, deadTo-margin)); n != 0 {
+		t.Errorf("dead badge recorded %d records inside its death window", n)
+	}
+	if fb, bb := faulty.Dataset.Series(b).Len(), base.Dataset.Series(b).Len(); fb >= bb {
+		t.Errorf("death window did not shrink badge B's series: %d vs %d", fb, bb)
+	}
+	// The badge resumes after the reboot: records exist past the window.
+	if n := len(faulty.Dataset.Series(b).Range(deadTo+margin, 48*time.Hour)); n == 0 {
+		t.Error("badge B never resumed after its reboot")
+	}
+
+	// The sync dropout suppressed exchanges across the fleet.
+	if fs, bs := countKind(faulty, record.KindSync), countKind(base, record.KindSync); fs >= bs {
+		t.Errorf("sync dropout did not reduce sync records: %d vs %d", fs, bs)
 	}
 }

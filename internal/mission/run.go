@@ -9,6 +9,7 @@ import (
 	"icares/internal/badge"
 	"icares/internal/beacon"
 	"icares/internal/crew"
+	"icares/internal/faultplan"
 	"icares/internal/geometry"
 	"icares/internal/habitat"
 	"icares/internal/radio"
@@ -44,6 +45,12 @@ type Config struct {
 	BLEDropProb float64
 	// Sub868DropProb injects packet loss on the badge-to-badge radio.
 	Sub868DropProb float64
+	// Faults applies a deterministic fault schedule to the run: badge
+	// death/reboot windows stop a badge's sampling (and revive it after),
+	// and sync-dropout windows suppress time-sync exchanges. Nil injects
+	// nothing. RF/gateway/uplink events do not affect SD-card recording —
+	// they belong to the online offload and uplink paths.
+	Faults *faultplan.Plan
 }
 
 // withDefaults fills zero fields.
@@ -205,6 +212,7 @@ func Run(cfg Config) (*Result, error) {
 		wearDecision: make(map[string]bool),
 		lastWornPos:  make(map[store.BadgeID]geometry.Point),
 		lastTruth:    -cfg.TruthEvery,
+		planKilled:   make(map[store.BadgeID]bool),
 	}
 	start := simtime.StartOfDay(cfg.FirstDataDay)
 	end := simtime.StartOfDay(cfg.Scenario.Days + 1)
@@ -242,6 +250,30 @@ type simRun struct {
 	lastSync     time.Duration
 
 	lastWornPos map[store.BadgeID]geometry.Point
+	// planKilled tracks badges the fault plan took down, so reboots revive
+	// exactly those and never resurrect scripted or battery deaths.
+	planKilled map[store.BadgeID]bool
+}
+
+// applyFaults transitions badges across the fault plan's death/reboot
+// windows at mission time now.
+func (s *simRun) applyFaults(now time.Duration) {
+	plan := s.cfg.Faults
+	if plan == nil {
+		return
+	}
+	for _, id := range s.badgeOrder {
+		b := s.badges[id]
+		down := plan.BadgeDown(id, now)
+		switch {
+		case down && !b.Failed():
+			s.planKilled[id] = true
+			b.Fail()
+		case !down && s.planKilled[id]:
+			s.planKilled[id] = false
+			b.Revive()
+		}
+	}
 }
 
 // dockInput is the situation of a badge resting at the charging station.
@@ -256,6 +288,7 @@ func (s *simRun) dockInput() badge.Input {
 func (s *simRun) daytimeTick(now time.Duration) {
 	cfg := s.cfg
 	day := simtime.DayOf(now)
+	s.applyFaults(now)
 
 	// Fail F's badge on the morning of the reuse day (the incident that
 	// makes F pick up C's badge).
@@ -352,6 +385,7 @@ func (s *simRun) daytimeTick(now time.Duration) {
 // nightTick charges badges, records reference-environment samples, and runs
 // the opportunistic time-sync exchanges.
 func (s *simRun) nightTick(now time.Duration) {
+	s.applyFaults(now)
 	for _, id := range s.badgeOrder {
 		s.badges[id].Tick(now, s.dockInput(), nil)
 	}
@@ -361,6 +395,9 @@ func (s *simRun) nightTick(now time.Duration) {
 		for _, id := range s.badgeOrder {
 			if id == store.BadgeID(ReferenceBadge) {
 				continue
+			}
+			if s.cfg.Faults != nil && s.cfg.Faults.SyncDropped(id, now) {
+				continue // sync-exchange dropout window
 			}
 			// Reference clock is identity in this build.
 			_ = s.badges[id].RecordSync(now, now)

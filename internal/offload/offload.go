@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"icares/internal/record"
 	"icares/internal/store"
@@ -42,19 +43,37 @@ type TransportFunc func(Batch) bool
 func (f TransportFunc) Deliver(b Batch) bool { return f(b) }
 
 // Gateway is the habitat-side receiver: it forwards each batch's records
-// to the sink exactly once and acknowledges everything it hears, including
-// duplicates (the ack for the original may have been lost).
-// Deduplication and ordering state per badge: mark is the contiguous
-// high-water sequence (everything <= mark has been released to the sink),
-// held buffers out-of-order batches above the mark until the gap fills, so
-// the sink sees each badge's records exactly once and in sequence order.
-// Memory stays bounded by the uploader's MaxPending window.
+// to the sink exactly once and in sequence order. Deduplication and
+// ordering state per badge: mark is the contiguous high-water sequence
+// (everything <= mark has been released to the sink), held buffers
+// out-of-order batches above the mark until the gap fills. Memory stays
+// bounded by the uploader's MaxPending window, and MaxHeldPerBadge adds a
+// hard cap for misbehaving senders.
+//
+// Acknowledgement is responsibility transfer, and responsibility requires
+// durability: only batches at or below the mark — forwarded to the sink,
+// watermark advanced — are acked (including re-acks of duplicates, since
+// the original ack may have been lost). An out-of-order batch is buffered
+// in held but NOT acked: held is volatile, and acking it would let the
+// sender discard records a crash could still destroy. The sender simply
+// keeps such batches pending and retransmits; once the gap fills and the
+// mark passes them, the retransmission collects a duplicate re-ack.
+//
+// Durability: mark advances atomically with sink forwarding, so Snapshot
+// (marks only) models the write-ahead state a real gateway persists with
+// its server store; held is volatile and lost on a crash. Because nothing
+// volatile is ever acked, a gateway restarted via Restore re-converges to
+// exactly-once purely through the uploaders' retransmissions.
 type Gateway struct {
 	sink func(store.BadgeID, []record.Record)
 	mark map[store.BadgeID]uint64
 	held map[store.BadgeID]map[uint64][]record.Record
+	// MaxHeldPerBadge bounds buffered out-of-order batches per badge; at
+	// the bound, non-gap-filling batches are refused (not acked) so the
+	// sender retries them later. Zero means unbounded.
+	MaxHeldPerBadge int
 	// stats
-	batches, duplicates int
+	batches, duplicates, refused int
 }
 
 // ErrNilSink reports a gateway without a destination.
@@ -72,34 +91,39 @@ func NewGateway(sink func(store.BadgeID, []record.Record)) (*Gateway, error) {
 	}, nil
 }
 
-// Offer processes one received batch and returns the acknowledgement.
+// Offer processes one received batch and returns the acknowledgement. A
+// false return means the gateway has not (yet) taken durable
+// responsibility for the batch — it is out of order (buffered in volatile
+// held, or refused past the held bound); the sender keeps it pending and
+// retransmits until the sequence gap fills.
 func (g *Gateway) Offer(b Batch) bool {
 	g.batches++
-	if g.isDuplicate(b) {
-		g.duplicates++
-		return true // re-ack: the first ack evidently got lost
-	}
-	g.accept(b)
-	return true
-}
-
-func (g *Gateway) isDuplicate(b Batch) bool {
 	if b.Seq <= g.mark[b.Badge] {
-		return true
+		g.duplicates++
+		return true // re-ack: durably forwarded, first ack evidently lost
 	}
-	_, ok := g.held[b.Badge][b.Seq]
-	return ok
+	return g.accept(b)
 }
 
-func (g *Gateway) accept(b Batch) {
+func (g *Gateway) accept(b Batch) bool {
 	m := g.held[b.Badge]
 	if m == nil {
 		m = make(map[uint64][]record.Record)
 		g.held[b.Badge] = m
 	}
 	if b.Seq != g.mark[b.Badge]+1 {
+		if _, ok := m[b.Seq]; ok {
+			g.duplicates++ // already buffered; still awaiting the gap
+			return false
+		}
+		if g.MaxHeldPerBadge > 0 && len(m) >= g.MaxHeldPerBadge {
+			g.refused++ // held full: refuse so the sender retries later
+			return false
+		}
 		m[b.Seq] = append([]record.Record{}, b.Records...)
-		return
+		// Held, not acked: held is volatile, so responsibility stays with
+		// the sender until the gap fills and the mark passes this batch.
+		return false
 	}
 	// In-order: release it and any contiguous held successors.
 	g.mark[b.Badge] = b.Seq
@@ -107,7 +131,7 @@ func (g *Gateway) accept(b Batch) {
 	for {
 		recs, ok := m[g.mark[b.Badge]+1]
 		if !ok {
-			return
+			return true
 		}
 		delete(m, g.mark[b.Badge]+1)
 		g.mark[b.Badge]++
@@ -120,6 +144,54 @@ func (g *Gateway) Stats() (batches, duplicates int) {
 	return g.batches, g.duplicates
 }
 
+// Refused returns how many out-of-order batches were turned away at the
+// held bound.
+func (g *Gateway) Refused() int { return g.refused }
+
+// Held returns the buffered out-of-order state across all badges: how many
+// batches (and the records inside them) sit above a sequence gap waiting
+// for it to fill. With a single well-behaved uploader, held stays within
+// the uploader's MaxPending window and drains to zero once gaps fill.
+func (g *Gateway) Held() (batches, records int) {
+	for _, m := range g.held {
+		for _, recs := range m {
+			batches++
+			records += len(recs)
+		}
+	}
+	return batches, records
+}
+
+// Snapshot is the durable part of a gateway's state: the per-badge
+// contiguous high-water marks, which advance atomically with sink
+// forwarding (a write-ahead watermark in a real deployment). Held
+// out-of-order batches are deliberately absent — they are volatile, and
+// retransmission recovers them.
+type Snapshot struct {
+	Marks map[store.BadgeID]uint64
+}
+
+// Snapshot captures the durable watermark state.
+func (g *Gateway) Snapshot() Snapshot {
+	s := Snapshot{Marks: make(map[store.BadgeID]uint64, len(g.mark))}
+	for id, m := range g.mark {
+		s.Marks[id] = m
+	}
+	return s
+}
+
+// Restore resets the gateway to a snapshot, dropping all volatile state —
+// the crash-restart transition. Records at or below the restored marks are
+// treated as duplicates (they already reached the sink), so a restarted
+// gateway re-converges to exactly-once as uploaders retransmit.
+func (g *Gateway) Restore(s Snapshot) {
+	g.mark = make(map[store.BadgeID]uint64, len(s.Marks))
+	for id, m := range s.Marks {
+		g.mark[id] = m
+	}
+	g.held = make(map[store.BadgeID]map[uint64][]record.Record)
+}
+
 // Uploader is the badge-side sender.
 type Uploader struct {
 	badge store.BadgeID
@@ -128,21 +200,33 @@ type Uploader struct {
 	// MaxPending bounds unacknowledged batches kept for retransmission;
 	// at the bound, new records keep buffering but no new batches form.
 	MaxPending int
+	// BackoffBase and BackoffMax configure the capped exponential backoff
+	// FlushAt applies after rounds with zero acknowledgements: the n-th
+	// consecutive failed round suspends flushing for BackoffBase·2ⁿ⁻¹,
+	// capped at BackoffMax. Zero BackoffBase disables backoff. TryFlush
+	// (clockless) never backs off.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
 
 	buffer  []record.Record
 	pending map[uint64]Batch
 	nextSeq uint64
 
-	sent, retransmits int
+	failStreak   int
+	backoffUntil time.Duration
+
+	sent, retransmits, skipped int
 }
 
 // NewUploader builds an uploader for a badge.
 func NewUploader(badge store.BadgeID) *Uploader {
 	return &Uploader{
-		badge:      badge,
-		BatchSize:  64,
-		MaxPending: 32,
-		pending:    make(map[uint64]Batch),
+		badge:       badge,
+		BatchSize:   64,
+		MaxPending:  32,
+		BackoffBase: 10 * time.Second,
+		BackoffMax:  10 * time.Minute,
+		pending:     make(map[uint64]Batch),
 	}
 }
 
@@ -160,6 +244,43 @@ func (u *Uploader) Pending() int { return len(u.pending) }
 // Stats returns send counters.
 func (u *Uploader) Stats() (sent, retransmits int) {
 	return u.sent, u.retransmits
+}
+
+// Skipped returns how many FlushAt calls backoff suppressed.
+func (u *Uploader) Skipped() int { return u.skipped }
+
+// FlushAt is TryFlush with capped exponential backoff on the caller's
+// clock: after a round in which every delivery attempt failed, subsequent
+// calls are no-ops until the backoff window elapses, doubling per
+// consecutive failure up to BackoffMax — so a badge in a long RF outage
+// stops hammering its radio, yet probes again within BackoffMax of
+// coverage returning. Any acknowledgement resets the backoff.
+func (u *Uploader) FlushAt(now time.Duration, t Transport) int {
+	if u.BackoffBase <= 0 {
+		return u.TryFlush(t)
+	}
+	if now < u.backoffUntil {
+		u.skipped++
+		return 0
+	}
+	attemptsBefore := u.sent + u.retransmits
+	acked := u.TryFlush(t)
+	attempted := u.sent + u.retransmits - attemptsBefore
+	switch {
+	case acked > 0:
+		u.failStreak = 0
+		u.backoffUntil = 0
+	case attempted > 0:
+		delay := u.BackoffBase << u.failStreak
+		if u.failStreak < 62 {
+			u.failStreak++
+		}
+		if u.BackoffMax > 0 && (delay > u.BackoffMax || delay <= 0) {
+			delay = u.BackoffMax
+		}
+		u.backoffUntil = now + delay
+	}
+	return acked
 }
 
 // TryFlush attempts one transfer round over the transport: it first
@@ -234,21 +355,42 @@ func (lt *LossyTransport) Deliver(b Batch) bool {
 	return ack
 }
 
+// DefaultStallRounds is how many consecutive fully stalled rounds (zero
+// acks and nothing new batchable) Drain tolerates before failing fast.
+// It is set high enough that a merely lossy transport cannot plausibly
+// trigger it (at 60 % symmetric loss a single pending batch survives 100
+// straight failed rounds with probability ~3·10⁻⁸), while a transport
+// with no coverage at all trips it immediately after the warm-up rounds.
+const DefaultStallRounds = 100
+
 // Drain runs flush rounds until the uploader is empty or maxRounds is
-// reached, returning the rounds used. It fails with ErrStalled if the
-// transport never delivers anything across an entire round (no coverage).
+// reached, returning the rounds used. It is coverage-aware: a fully
+// stalled round — zero acknowledgements and no new batches formable — is
+// evidence of total stall, and DefaultStallRounds consecutive ones fail
+// fast with ErrStalled instead of spinning to maxRounds. Rounds that make
+// any progress (an ack, or fresh batches entering flight) reset the count,
+// so slow-but-progressing transports drain to completion.
 func Drain(u *Uploader, t Transport, maxRounds int) (int, error) {
 	if maxRounds <= 0 {
 		maxRounds = 1000
 	}
+	stalled := 0
 	for round := 1; round <= maxRounds; round++ {
+		sentBefore, _ := u.Stats()
 		acked := u.TryFlush(t)
 		if u.Buffered() == 0 && u.Pending() == 0 {
 			return round, nil
 		}
-		if acked == 0 && round > 1 && u.Buffered() == 0 && u.Pending() > 0 {
-			continue // keep retrying pending batches
+		sentAfter, _ := u.Stats()
+		if acked == 0 && sentAfter == sentBefore {
+			stalled++
+			if stalled >= DefaultStallRounds {
+				return round, fmt.Errorf("offload: %w after %d rounds, %d fully stalled (pending %d, buffered %d)",
+					ErrStalled, round, stalled, u.Pending(), u.Buffered())
+			}
+			continue
 		}
+		stalled = 0
 	}
 	return maxRounds, fmt.Errorf("offload: %w after %d rounds (pending %d, buffered %d)",
 		ErrStalled, maxRounds, u.Pending(), u.Buffered())

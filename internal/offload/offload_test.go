@@ -156,6 +156,56 @@ func TestDrainStallsWithoutTransport(t *testing.T) {
 	}
 }
 
+func TestDrainFailsFastOnTotalStall(t *testing.T) {
+	u := NewUploader(9)
+	for _, r := range mkRecords(100) {
+		u.Enqueue(r)
+	}
+	dead := TransportFunc(func(Batch) bool { return false })
+	rounds, err := Drain(u, dead, 1_000_000)
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("dead transport: %v", err)
+	}
+	// Round 1 forms new batches (progress); every later round is fully
+	// stalled, so the fail-fast must trip right after DefaultStallRounds
+	// instead of spinning out the million-round budget.
+	if rounds > DefaultStallRounds+2 {
+		t.Errorf("stall detected after %d rounds, want <= %d", rounds, DefaultStallRounds+2)
+	}
+}
+
+func TestDrainSlowButProgressing(t *testing.T) {
+	col := newCollector()
+	gw, err := NewGateway(col.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lets a batch through only every 37th delivery attempt: far slower
+	// than lossless, but progressing — Drain must ride out the dead
+	// stretches (< stall limit) and finish without ErrStalled. The period
+	// is co-prime with the pending-set size so the one delivery per period
+	// cycles across all pending batches instead of starving the gap filler.
+	calls := 0
+	slow := TransportFunc(func(b Batch) bool {
+		calls++
+		if calls%37 != 0 {
+			return false
+		}
+		return gw.Offer(b)
+	})
+	u := NewUploader(5)
+	u.BatchSize = 10
+	for _, r := range mkRecords(50) {
+		u.Enqueue(r)
+	}
+	if _, err := Drain(u, slow, 5000); err != nil {
+		t.Fatalf("slow but progressing transport stalled: %v", err)
+	}
+	if len(col.got[5]) != 50 {
+		t.Errorf("delivered %d records, want 50", len(col.got[5]))
+	}
+}
+
 func TestGatewayOutOfOrderDedup(t *testing.T) {
 	col := newCollector()
 	gw, err := NewGateway(col.sink)
@@ -165,10 +215,23 @@ func TestGatewayOutOfOrderDedup(t *testing.T) {
 	mk := func(seq uint64) Batch {
 		return Batch{Badge: 4, Seq: seq, Records: mkRecords(1)}
 	}
-	// Out-of-order arrival: 2, 1, 3, then duplicates of each.
-	for _, seq := range []uint64{2, 1, 3, 2, 1, 3} {
+	// Out-of-order arrival: 2 is buffered but NOT acked — held is volatile,
+	// so responsibility stays with the sender until the gap fills.
+	if gw.Offer(mk(2)) {
+		t.Fatal("out-of-order batch acked while only volatile")
+	}
+	// 1 fills the gap: it and the held 2 cascade to the sink.
+	if !gw.Offer(mk(1)) {
+		t.Fatal("in-order batch nacked")
+	}
+	if !gw.Offer(mk(3)) {
+		t.Fatal("next in-order batch nacked")
+	}
+	// Retransmissions of everything at or below the mark re-ack as
+	// duplicates (the sender never heard an ack for 2 at all).
+	for _, seq := range []uint64{2, 1, 3} {
 		if !gw.Offer(mk(seq)) {
-			t.Fatal("nack")
+			t.Fatalf("duplicate of forwarded batch %d nacked", seq)
 		}
 	}
 	if len(col.got[4]) != 3 {
@@ -176,6 +239,308 @@ func TestGatewayOutOfOrderDedup(t *testing.T) {
 	}
 	if _, dups := gw.Stats(); dups != 3 {
 		t.Errorf("duplicates = %d, want 3", dups)
+	}
+}
+
+func TestGatewayHeldObservableAndBounded(t *testing.T) {
+	col := newCollector()
+	gw, err := NewGateway(col.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := NewUploader(6)
+	u.BatchSize = 4
+	for _, r := range mkRecords(120) {
+		u.Enqueue(r)
+	}
+	// Drop every delivery of batch 1: everything above it piles up in held
+	// until the uploader's MaxPending window is exhausted, then the gap
+	// finally fills.
+	attempts := 0
+	maxHeldBatches := 0
+	gap := TransportFunc(func(b Batch) bool {
+		if b.Seq == 1 {
+			attempts++
+			if attempts < 4 {
+				return false
+			}
+		}
+		ok := gw.Offer(b)
+		if hb, hr := gw.Held(); hb > maxHeldBatches {
+			maxHeldBatches = hb
+			if hr != hb*4 {
+				t.Errorf("held records %d for %d held batches of 4", hr, hb)
+			}
+		}
+		return ok
+	})
+	if _, err := Drain(u, gap, 100); err != nil {
+		t.Fatal(err)
+	}
+	if maxHeldBatches == 0 {
+		t.Fatal("gap never buffered anything out of order")
+	}
+	if maxHeldBatches > u.MaxPending {
+		t.Errorf("held %d batches, beyond the MaxPending window %d", maxHeldBatches, u.MaxPending)
+	}
+	if hb, hr := gw.Held(); hb != 0 || hr != 0 {
+		t.Errorf("held state after gap fill: %d batches %d records, want 0", hb, hr)
+	}
+	if len(col.got[6]) != 120 {
+		t.Fatalf("delivered %d records, want 120", len(col.got[6]))
+	}
+	for i, r := range col.got[6] {
+		if r.AX != int16(i) {
+			t.Fatalf("record %d out of order after gap fill: AX=%d", i, r.AX)
+		}
+	}
+}
+
+func TestGatewayHeldBoundRefuses(t *testing.T) {
+	col := newCollector()
+	gw, err := NewGateway(col.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.MaxHeldPerBadge = 2
+	mk := func(seq uint64) Batch { return Batch{Badge: 4, Seq: seq, Records: mkRecords(1)} }
+	// 2 and 3 fit in held (nacked — held is volatile, never acked), but
+	// they occupy the bound.
+	gw.Offer(mk(2))
+	gw.Offer(mk(3))
+	if hb, _ := gw.Held(); hb != 2 {
+		t.Fatalf("held %d batches, want bound 2", hb)
+	}
+	// 4 is beyond the bound: refused outright, not buffered.
+	if gw.Offer(mk(4)) {
+		t.Error("batch beyond the held bound was acked")
+	}
+	if gw.Refused() != 1 {
+		t.Errorf("refused = %d, want 1", gw.Refused())
+	}
+	if hb, _ := gw.Held(); hb != 2 {
+		t.Errorf("held %d batches after refusal, want still 2", hb)
+	}
+	// Gap fill releases 1..3; the refused 4 arrives as a retransmission.
+	if !gw.Offer(mk(1)) || !gw.Offer(mk(4)) {
+		t.Fatal("recovery path refused")
+	}
+	if len(col.got[4]) != 4 {
+		t.Errorf("delivered %d records, want 4 exactly once", len(col.got[4]))
+	}
+}
+
+func TestCrashWithHeldBatchesLosesNothing(t *testing.T) {
+	// The scenario that forbids acking held batches: a batch sits in
+	// volatile held when the gateway crashes. Because it was never acked,
+	// the sender still has it pending, and retransmission recovers it.
+	col := newCollector()
+	gw, err := NewGateway(col.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(seq uint64, ax int16) Batch {
+		return Batch{Badge: 9, Seq: seq, Records: []record.Record{{Kind: record.KindAccel, AX: ax}}}
+	}
+	if gw.Offer(mk(2, 1)) {
+		t.Fatal("held batch acked before the crash")
+	}
+	gw.Restore(gw.Snapshot()) // crash: held 2 evaporates
+	if !gw.Offer(mk(1, 0)) {
+		t.Fatal("in-order batch nacked after restart")
+	}
+	// The sender retransmits the never-acked 2; then 3 proceeds in order.
+	if !gw.Offer(mk(2, 1)) || !gw.Offer(mk(3, 2)) {
+		t.Fatal("recovery after crash nacked")
+	}
+	got := col.got[9]
+	if len(got) != 3 {
+		t.Fatalf("delivered %d records, want 3", len(got))
+	}
+	for i, r := range got {
+		if r.AX != int16(i) {
+			t.Fatalf("record %d out of order after crash: AX=%d", i, r.AX)
+		}
+	}
+}
+
+func TestGatewaySnapshotRestoreExactlyOnce(t *testing.T) {
+	rng := stats.NewRNG(11)
+	col := newCollector()
+	gw, err := NewGateway(col.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := NewUploader(2)
+	u.BatchSize = 8
+	for _, r := range mkRecords(400) {
+		u.Enqueue(r)
+	}
+	transport := &LossyTransport{Gateway: gw, LossUp: 0.3, LossDown: 0.3, Rand: rng.Float64}
+	// Half-drain, then crash: volatile held state is lost, the durable
+	// marks survive via Snapshot/Restore.
+	for i := 0; i < 6; i++ {
+		u.TryFlush(transport)
+	}
+	gw.Restore(gw.Snapshot())
+	if hb, hr := gw.Held(); hb != 0 || hr != 0 {
+		t.Fatalf("held state survived the crash: %d batches %d records", hb, hr)
+	}
+	if _, err := Drain(u, transport, 5000); err != nil {
+		t.Fatal(err)
+	}
+	got := col.got[2]
+	if len(got) != 400 {
+		t.Fatalf("gateway released %d records, want 400 exactly once", len(got))
+	}
+	for i, r := range got {
+		if r.AX != int16(i) {
+			t.Fatalf("record %d out of order after restart: AX=%d", i, r.AX)
+		}
+	}
+}
+
+func TestFlushAtBackoff(t *testing.T) {
+	u := NewUploader(3)
+	u.BackoffBase = 10 * time.Second
+	u.BackoffMax = 40 * time.Second
+	for _, r := range mkRecords(10) {
+		u.Enqueue(r)
+	}
+	dead := TransportFunc(func(Batch) bool { return false })
+	at := func(sec int) time.Duration { return time.Duration(sec) * time.Second }
+
+	u.FlushAt(at(0), dead) // fails: backoff 10 s
+	sent, retrans := u.Stats()
+	if sent == 0 {
+		t.Fatal("first flush attempted nothing")
+	}
+	u.FlushAt(at(5), dead) // inside backoff: must not touch the radio
+	if _, r2 := u.Stats(); r2 != retrans {
+		t.Errorf("flush inside backoff retransmitted (%d -> %d)", retrans, r2)
+	}
+	if u.Skipped() != 1 {
+		t.Errorf("skipped = %d, want 1", u.Skipped())
+	}
+	u.FlushAt(at(10), dead) // fails again: backoff 20 s
+	u.FlushAt(at(25), dead) // still inside
+	if u.Skipped() != 2 {
+		t.Errorf("skipped = %d, want 2", u.Skipped())
+	}
+	u.FlushAt(at(30), dead) // fails: backoff caps at 40 s
+	u.FlushAt(at(30+39), dead)
+	if u.Skipped() != 3 {
+		t.Errorf("capped backoff: skipped = %d, want 3", u.Skipped())
+	}
+	// Coverage returns: an ack resets the streak and everything drains.
+	col := newCollector()
+	gw, err := NewGateway(col.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := &LossyTransport{Gateway: gw}
+	if acked := u.FlushAt(at(30+40), live); acked == 0 {
+		t.Fatal("no acks after coverage returned")
+	}
+	u.FlushAt(at(30+41), live)
+	if len(col.got[3]) != 10 {
+		t.Errorf("delivered %d records, want 10", len(col.got[3]))
+	}
+}
+
+// reorderTransport queues deliveries and offers them to the gateway in
+// random order with random lag — the adversarial reordering model for the
+// exactly-once property.
+type reorderTransport struct {
+	rng   *stats.RNG
+	gw    *Gateway
+	loss  float64
+	queue []Batch
+}
+
+func (rt *reorderTransport) Deliver(b Batch) bool {
+	if rt.rng.Float64() < rt.loss {
+		return false // lost before queueing
+	}
+	rt.queue = append(rt.queue, b)
+	acked := false
+	n := rt.rng.Intn(len(rt.queue) + 1)
+	for i := 0; i < n; i++ {
+		j := rt.rng.Intn(len(rt.queue))
+		q := rt.queue[j]
+		rt.queue = append(rt.queue[:j], rt.queue[j+1:]...)
+		ok := rt.gw.Offer(q)
+		if ok && q.Badge == b.Badge && q.Seq == b.Seq && rt.rng.Float64() >= rt.loss {
+			acked = true // the sender's own batch made it and the ack survived
+		}
+	}
+	return acked
+}
+
+// Property (the package-doc invariant): for random loss rates, batch
+// sizes, held bounds, and arbitrary reordering, the gateway sink receives
+// each badge's records exactly once and in sequence order.
+func TestQuickExactlyOnceUnderReordering(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		col := newCollector()
+		gw, err := NewGateway(col.sink)
+		if err != nil {
+			return false
+		}
+		gw.MaxHeldPerBadge = 1 + rng.Intn(40)
+		rt := &reorderTransport{rng: rng.Split(), gw: gw, loss: rng.Range(0, 0.4)}
+
+		nBadges := 1 + rng.Intn(3)
+		counts := make(map[store.BadgeID]int, nBadges)
+		var ups []*Uploader
+		for i := 0; i < nBadges; i++ {
+			id := store.BadgeID(i + 1)
+			u := NewUploader(id)
+			u.BatchSize = 1 + rng.Intn(20)
+			counts[id] = rng.Intn(300)
+			for _, r := range mkRecords(counts[id]) {
+				u.Enqueue(r)
+			}
+			ups = append(ups, u)
+		}
+		for round := 0; round < 20000; round++ {
+			busy := false
+			for _, u := range ups {
+				if u.Buffered() > 0 || u.Pending() > 0 {
+					busy = true
+					u.TryFlush(rt)
+				}
+			}
+			if !busy {
+				break
+			}
+		}
+		for _, u := range ups {
+			if u.Buffered() > 0 || u.Pending() > 0 {
+				return false // failed to converge
+			}
+		}
+		// Whatever still sits in the transport queue is duplicates of
+		// acked batches; the gateway must absorb them.
+		for _, q := range rt.queue {
+			gw.Offer(q)
+		}
+		for id, want := range counts {
+			got := col.got[id]
+			if len(got) != want {
+				return false
+			}
+			for i, r := range got {
+				if r.AX != int16(i) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
 	}
 }
 

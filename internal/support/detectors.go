@@ -19,6 +19,12 @@ type InactivityDetector struct {
 	MaxStill time.Duration
 	// MoveSigma is the accel deviation (milli-g) counting as movement.
 	MoveSigma float64
+	// MaxGap is the longest ingestion silence still treated as live data.
+	// An offloaded stream has outages (RF gaps, gateway restarts); absence
+	// of records is not evidence of absence of movement, so after a longer
+	// gap the detector re-baselines at the first post-gap record and stays
+	// quiet during the gap itself rather than alerting on stale state.
+	MaxGap time.Duration
 
 	lastMove map[string]time.Duration
 	worn     map[string]bool
@@ -31,6 +37,7 @@ func NewInactivityDetector() *InactivityDetector {
 	return &InactivityDetector{
 		MaxStill:  30 * time.Minute,
 		MoveSigma: 45,
+		MaxGap:    5 * time.Minute,
 		lastMove:  make(map[string]time.Duration),
 		worn:      make(map[string]bool),
 		alerted:   make(map[string]bool),
@@ -45,6 +52,13 @@ func (d *InactivityDetector) Name() string { return "inactivity" }
 func (d *InactivityDetector) Observe(at time.Duration, wearer string, _ store.BadgeID, rec record.Record) []Alert {
 	if wearer == "" {
 		return nil
+	}
+	if last, ok := d.lastSeen[wearer]; ok && d.MaxGap > 0 && at-last > d.MaxGap {
+		// Ingestion gap: the pre-gap stillness clock is stale evidence.
+		// Re-baseline so only post-gap stillness can accumulate.
+		if _, hadMove := d.lastMove[wearer]; hadMove {
+			d.lastMove[wearer] = at
+		}
 	}
 	d.lastSeen[wearer] = at
 	switch rec.Kind {
@@ -73,6 +87,10 @@ func (d *InactivityDetector) Sweep(now time.Duration) []Alert {
 		}
 		last, ok := d.lastMove[wearer]
 		if !ok {
+			continue
+		}
+		if seen, ok := d.lastSeen[wearer]; ok && d.MaxGap > 0 && now-seen > d.MaxGap {
+			// No fresh records: an ingestion outage, not a still astronaut.
 			continue
 		}
 		if now-last >= d.MaxStill {

@@ -19,6 +19,12 @@ type Replayer struct {
 	ds     *store.Dataset
 	// WearerOf maps a badge and mission day to its wearer ("" if none).
 	WearerOf func(id store.BadgeID, day int) string
+	// Gate optionally filters the stream: return false to withhold a
+	// record from the daemon, modelling transport loss between badge and
+	// gateway (e.g. faultplan.Plan.ReplayGate). Nil passes everything.
+	Gate func(id store.BadgeID, at time.Duration) bool
+
+	withheld int
 }
 
 // NewReplayer builds a replayer over a dataset.
@@ -72,12 +78,16 @@ func (r *Replayer) Run(from, to time.Duration) int {
 			break
 		}
 		rec := c.recs[c.pos]
-		wearer := ""
-		if r.WearerOf != nil {
-			wearer = r.WearerOf(c.id, simtime.DayOf(rec.Local))
+		if r.Gate == nil || r.Gate(c.id, rec.Local) {
+			wearer := ""
+			if r.WearerOf != nil {
+				wearer = r.WearerOf(c.id, simtime.DayOf(rec.Local))
+			}
+			r.daemon.Ingest(rec.Local, wearer, c.id, rec)
+			n++
+		} else {
+			r.withheld++
 		}
-		r.daemon.Ingest(rec.Local, wearer, c.id, rec)
-		n++
 		c.pos++
 		if c.pos < len(c.recs) {
 			heap.Push(&h, c)
@@ -85,3 +95,6 @@ func (r *Replayer) Run(from, to time.Duration) int {
 	}
 	return n
 }
+
+// Withheld returns how many records the gate has dropped so far.
+func (r *Replayer) Withheld() int { return r.withheld }

@@ -433,3 +433,64 @@ func TestDaemonAlertSubscription(t *testing.T) {
 		t.Errorf("subscriber got %d alerts", len(got))
 	}
 }
+
+func TestInactivityToleratesIngestionGap(t *testing.T) {
+	d := NewDaemon()
+	det := NewInactivityDetector()
+	d.Register(det)
+	d.Ingest(0, "A", 1, wearRec(0, true))
+	// Movement, then stillness for 10 min — well under MaxStill.
+	d.Ingest(0, "A", 1, accelRec(0, 200))
+	for at := 10 * time.Second; at < 10*time.Minute; at += 10 * time.Second {
+		d.Ingest(at, "A", 1, accelRec(at, 3))
+	}
+	// A 3-hour ingestion gap (RF outage, gateway restart): no records at
+	// all. Sweeps during the gap must not read the silence as stillness.
+	for at := 10 * time.Minute; at < 3*time.Hour; at += 10 * time.Minute {
+		d.Sweep(at)
+	}
+	if got := len(d.AlertsOfKind("inactivity")); got != 0 {
+		t.Fatalf("false inactivity alerts during ingestion gap: %d", got)
+	}
+	// The stream resumes with still-but-present records: the detector must
+	// re-baseline instead of alerting off the stale pre-gap movement clock.
+	resume := 3 * time.Hour
+	for at := resume; at < resume+10*time.Minute; at += 10 * time.Second {
+		d.Ingest(at, "A", 1, accelRec(at, 3))
+	}
+	if got := len(d.AlertsOfKind("inactivity")); got != 0 {
+		t.Fatalf("false inactivity alert right after gap: %d", got)
+	}
+	// Genuine post-gap stillness must still fire once MaxStill accumulates
+	// on fresh data.
+	for at := resume + 10*time.Minute; at < resume+45*time.Minute; at += 10 * time.Second {
+		d.Ingest(at, "A", 1, accelRec(at, 3))
+	}
+	alerts := d.AlertsOfKind("inactivity")
+	if len(alerts) != 1 {
+		t.Fatalf("post-gap stillness alerts = %d (%v)", len(alerts), alerts)
+	}
+	if alerts[0].At < resume+30*time.Minute {
+		t.Errorf("alert at %v, before MaxStill of fresh post-gap data", alerts[0].At)
+	}
+}
+
+func TestReplayerGateWithholdsRecords(t *testing.T) {
+	ds := store.NewDataset()
+	s := ds.Series(1)
+	for at := time.Duration(0); at < time.Hour; at += time.Minute {
+		s.Append(accelRec(at, 100))
+	}
+	d := NewDaemon()
+	r := NewReplayer(d, ds, nil)
+	r.Gate = func(_ store.BadgeID, at time.Duration) bool {
+		return at < 30*time.Minute // outage in the second half-hour
+	}
+	n := r.Run(0, time.Hour)
+	if n != 30 {
+		t.Errorf("ingested %d records, want 30", n)
+	}
+	if r.Withheld() != 30 {
+		t.Errorf("withheld %d records, want 30", r.Withheld())
+	}
+}

@@ -108,7 +108,13 @@ type Link struct {
 	// lineFree is when the shared transmit line is next idle, per sender.
 	lineFree map[Endpoint]time.Duration
 	sent     map[Endpoint]int64 // bytes by sender
+	// blackouts are intervals during which no transmission may start;
+	// sends queue and begin when the window lifts. Sorted by start.
+	blackouts []blackout
 }
+
+// blackout is one no-transmit interval [from, to).
+type blackout struct{ from, to time.Duration }
 
 // NewLink creates a link with the given one-way delay (DefaultDelay if
 // zero or negative).
@@ -126,6 +132,45 @@ func NewLink(delay time.Duration) *Link {
 
 // Delay returns the one-way latency.
 func (l *Link) Delay() time.Duration { return l.delay }
+
+// AddBlackout registers [from, to) as a communication blackout (solar
+// conjunction, antenna repointing, a dust storm over the relay). The link
+// queues rather than drops: a message sent during a blackout starts
+// transmitting when the window lifts, keeping its place in the rate-cap
+// queue, and conflict detection still applies to it on (late) arrival.
+func (l *Link) AddBlackout(from, to time.Duration) {
+	if to <= from {
+		return
+	}
+	l.blackouts = append(l.blackouts, blackout{from: from, to: to})
+	sort.Slice(l.blackouts, func(i, j int) bool {
+		return l.blackouts[i].from < l.blackouts[j].from
+	})
+}
+
+// Blacked reports whether transmission is blocked at mission time at.
+func (l *Link) Blacked(at time.Duration) bool {
+	for _, b := range l.blackouts {
+		if at >= b.from && at < b.to {
+			return true
+		}
+		if b.from > at {
+			break
+		}
+	}
+	return false
+}
+
+// deferPastBlackouts pushes a transmission start time out of any blackout
+// windows (cascading across back-to-back windows).
+func (l *Link) deferPastBlackouts(txStart time.Duration) time.Duration {
+	for _, b := range l.blackouts {
+		if txStart >= b.from && txStart < b.to {
+			txStart = b.to
+		}
+	}
+	return txStart
+}
 
 func other(e Endpoint) (Endpoint, error) {
 	switch e {
@@ -156,6 +201,7 @@ func (l *Link) Send(now time.Duration, msg Message) (Message, error) {
 	if free := l.lineFree[msg.From]; free > txStart {
 		txStart = free
 	}
+	txStart = l.deferPastBlackouts(txStart)
 	var txTime time.Duration
 	if l.BytesPerSecond > 0 && msg.Bytes > 0 {
 		txTime = time.Duration(float64(msg.Bytes) / float64(l.BytesPerSecond) * float64(time.Second))

@@ -181,3 +181,95 @@ func TestEndpointAndKindStrings(t *testing.T) {
 		t.Error("unknown kind name")
 	}
 }
+
+func TestBlackoutQueuesInsteadOfDropping(t *testing.T) {
+	l := NewLink(20 * time.Minute)
+	l.AddBlackout(time.Hour, 2*time.Hour)
+	if !l.Blacked(90*time.Minute) || l.Blacked(2*time.Hour) {
+		t.Error("blackout window membership wrong")
+	}
+	// Sent mid-blackout: queued, transmission starts when the window
+	// lifts, so arrival is blackout end + propagation delay.
+	msg, err := l.Send(90*time.Minute, Message{From: Habitat, Kind: Report, Topic: "status"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2*time.Hour + 20*time.Minute; msg.ArrivesAt != want {
+		t.Errorf("arrives at %v, want %v", msg.ArrivesAt, want)
+	}
+	if got := l.Receive(MissionControl, 2*time.Hour+19*time.Minute); len(got) != 0 {
+		t.Errorf("delivery during propagation: %v", got)
+	}
+	if got := l.Receive(MissionControl, 2*time.Hour+20*time.Minute); len(got) != 1 {
+		t.Errorf("queued message never delivered: %v", got)
+	}
+}
+
+func TestBlackoutCascadesAcrossWindows(t *testing.T) {
+	l := NewLink(time.Minute)
+	// Back-to-back windows: the transmission start must clear both.
+	l.AddBlackout(time.Hour, 2*time.Hour)
+	l.AddBlackout(2*time.Hour, 3*time.Hour)
+	msg, err := l.Send(90*time.Minute, Message{From: MissionControl, Kind: Report, Topic: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3*time.Hour + time.Minute; msg.ArrivesAt != want {
+		t.Errorf("arrives at %v, want %v", msg.ArrivesAt, want)
+	}
+}
+
+func TestBlackoutRespectsRateCapQueue(t *testing.T) {
+	l := NewLink(time.Minute)
+	l.BytesPerSecond = 10
+	l.AddBlackout(0, time.Hour)
+	// Two messages sent during the blackout serialize after it lifts.
+	m1, err := l.Send(0, Message{From: Habitat, Kind: Report, Topic: "a", Bytes: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := l.Send(0, Message{From: Habitat, Kind: Report, Topic: "b", Bytes: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := time.Hour + 10*time.Second + time.Minute; m1.ArrivesAt != want {
+		t.Errorf("first arrives at %v, want %v", m1.ArrivesAt, want)
+	}
+	if want := time.Hour + 20*time.Second + time.Minute; m2.ArrivesAt != want {
+		t.Errorf("second arrives at %v, want %v", m2.ArrivesAt, want)
+	}
+}
+
+func TestStaleCommandAfterBlackoutStillConflicts(t *testing.T) {
+	// The day-12 failure mode, aggravated by a blackout: mission control
+	// composes a command against version 1, the blackout delays it, and by
+	// arrival the crew has advanced the topic — conflict detection must
+	// still fire on the late arrival.
+	l := NewLink(20 * time.Minute)
+	l.AddBlackout(time.Hour, 3*time.Hour)
+	habitat := NewTopicState()
+	habitat.Advance("task-plan") // version 1, known to both sides
+
+	msg, err := l.Send(time.Hour, Message{
+		From: MissionControl, Kind: Command, Topic: "task-plan", BasisVersion: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.ArrivesAt <= 3*time.Hour {
+		t.Fatalf("blackout did not delay the command: arrives %v", msg.ArrivesAt)
+	}
+	// During the blackout the crew acts on its own (autonomy).
+	habitat.Advance("task-plan") // version 2
+	arrived := l.Receive(Habitat, msg.ArrivesAt)
+	if len(arrived) != 1 {
+		t.Fatalf("arrivals = %d", len(arrived))
+	}
+	c := habitat.Check(arrived[0])
+	if c == nil {
+		t.Fatal("stale command arriving after blackout not flagged")
+	}
+	if c.CurrentVersion != 2 {
+		t.Errorf("conflict current version = %d, want 2", c.CurrentVersion)
+	}
+}
