@@ -6,18 +6,22 @@
 //
 // Usage:
 //
-//	habitatd [-seed N] [-days N] [-max N]
+//	habitatd [-seed N] [-days N] [-max N] [-metrics] [-debug-addr HOST:PORT]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
 	"icares"
 	"icares/internal/simtime"
 	"icares/internal/support"
+	"icares/internal/telemetry"
 	"icares/internal/uplink"
 )
 
@@ -33,17 +37,37 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 42, "simulation seed")
 	days := fs.Int("days", 4, "mission length in days")
 	maxAlerts := fs.Int("max", 40, "maximum alerts to print")
+	metrics := fs.Bool("metrics", false, "dump the telemetry registry after the run")
+	debugAddr := fs.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060); keeps the process alive after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	reg := telemetry.NewRegistry()
+	if *debugAddr != "" {
+		reg.PublishExpvar("icares")
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		fmt.Printf("debug server on http://%s/debug/vars and /debug/pprof/\n", ln.Addr())
+		go func() {
+			// DefaultServeMux carries the expvar and pprof handlers
+			// registered by their package imports.
+			if err := http.Serve(ln, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "debug server:", err)
+			}
+		}()
+	}
+
 	fmt.Printf("simulating %d mission days (seed %d)...\n", *days, *seed)
-	m, err := icares.Simulate(icares.Options{Seed: *seed, Days: *days})
+	m, err := icares.Simulate(icares.Options{Seed: *seed, Days: *days, Telemetry: reg})
 	if err != nil {
 		return err
 	}
 
 	daemon, replayer := m.SupportSystem()
+	daemon.Instrument(reg)
 	printed := 0
 	daemon.OnAlert(func(a support.Alert) {
 		if printed >= *maxAlerts {
@@ -72,15 +96,27 @@ func run(args []string) error {
 		fmt.Printf("  %-15s %d\n", kind, byKind[kind])
 	}
 
-	demoConsensus(m)
-	demoDay12()
+	demoConsensus(m, reg)
+	demoDay12(reg)
+
+	if *metrics {
+		fmt.Println("\ntelemetry:")
+		if err := reg.Write(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if *debugAddr != "" {
+		fmt.Println("\nrun complete; debug server still up — ctrl-c to exit")
+		select {}
+	}
 	return nil
 }
 
 // demoConsensus walks one proposal through the council.
-func demoConsensus(m *icares.Mission) {
+func demoConsensus(m *icares.Mission, reg *telemetry.Registry) {
 	fmt.Println("\n--- consensus approval demo ---")
 	link := icares.MissionControlLink()
+	link.Instrument(reg)
 	council := m.Council(link)
 	now := 5 * simtime.DayLength
 
@@ -112,10 +148,12 @@ func demoConsensus(m *icares.Mission) {
 
 // demoDay12 replays the day-12 incident: a stale command arriving after the
 // crew already acted.
-func demoDay12() {
+func demoDay12(reg *telemetry.Registry) {
 	fmt.Println("\n--- day-12 stale-command detection demo ---")
 	link := icares.MissionControlLink()
+	link.Instrument(reg)
 	state := uplink.NewTopicState()
+	state.Instrument(reg)
 	day12 := 11 * simtime.DayLength
 
 	if _, err := link.Send(day12, uplink.Message{

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	icares [-seed N] [-days N] [-out DIR]
+//	icares [-seed N] [-days N] [-out DIR] [-metrics]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 	"icares"
 	"icares/internal/record"
 	"icares/internal/simtime"
+	"icares/internal/telemetry"
 )
 
 func main() {
@@ -30,13 +31,22 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 42, "simulation seed")
 	days := fs.Int("days", 14, "mission length in days")
 	out := fs.String("out", "", "directory to write per-badge .icr log files (optional)")
+	metrics := fs.Bool("metrics", false, "dump the telemetry registry and sim-clock spans after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	var reg *telemetry.Registry
+	var tracer *telemetry.Tracer
+	if *metrics {
+		reg = telemetry.NewRegistry()
+		tracer = telemetry.NewTracer(0)
+		tracer.Mirror(reg)
+	}
+
 	fmt.Printf("ICAres-1 mission simulation — seed %d, %d days\n", *seed, *days)
 	start := time.Now()
-	m, err := icares.Simulate(icares.Options{Seed: *seed, Days: *days})
+	m, err := icares.Simulate(icares.Options{Seed: *seed, Days: *days, Telemetry: reg, Tracer: tracer})
 	if err != nil {
 		return err
 	}
@@ -72,6 +82,16 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("\ndataset written to %s\n", *out)
+	}
+	if *metrics {
+		fmt.Println("\ntelemetry:")
+		if err := reg.Write(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println("\nsim-clock spans:")
+		if err := tracer.Write(os.Stdout); err != nil {
+			return err
+		}
 	}
 	fmt.Println("\nrun `repro -exp all` to regenerate the paper's figures and tables")
 	return nil

@@ -34,6 +34,7 @@ import (
 	"icares/internal/store"
 	"icares/internal/support"
 	"icares/internal/survey"
+	"icares/internal/telemetry"
 	"icares/internal/uplink"
 )
 
@@ -50,6 +51,13 @@ type Options struct {
 	// death/reboot windows, sync-exchange dropouts); build one with
 	// ChaosPlan or faultplan.New. Nil injects nothing.
 	Faults *faultplan.Plan
+	// Telemetry, when non-nil, receives the mission engine's metrics
+	// (tick counts, fault transitions, record volume). Nil disables
+	// instrumentation at zero cost.
+	Telemetry *telemetry.Registry
+	// Tracer, when non-nil, records sim-clock spans for the run and each
+	// mission day.
+	Tracer *telemetry.Tracer
 }
 
 // AssignmentView selects which badge-to-astronaut mapping an analysis uses.
@@ -82,6 +90,8 @@ func Simulate(opts Options) (*Mission, error) {
 		Scenario:     sc,
 		CollectTruth: opts.CollectTruth,
 		Faults:       opts.Faults,
+		Telemetry:    opts.Telemetry,
+		Tracer:       opts.Tracer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("simulate: %w", err)

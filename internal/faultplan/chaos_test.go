@@ -1,7 +1,10 @@
 package faultplan_test
 
 import (
+	"io"
 	"reflect"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -15,6 +18,7 @@ import (
 	"icares/internal/stats"
 	"icares/internal/store"
 	"icares/internal/support"
+	"icares/internal/telemetry"
 	"icares/internal/uplink"
 )
 
@@ -36,6 +40,31 @@ func chaosPlan(seed uint64, days int, badges []store.BadgeID, zones []string) *f
 	return faultplan.New(seed, append(explicit, gen.Events()...)...)
 }
 
+// metricTotal sums a metric's value across all label sets by scanning the
+// registry's exposition text, so checks need not enumerate label values.
+func metricTotal(reg *telemetry.Registry, name string) float64 {
+	var total float64
+	for _, line := range strings.Split(reg.String(), "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if rest != "" && rest[0] != '{' && rest[0] != ' ' {
+			continue // longer metric name sharing the prefix
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		total += v
+	}
+	return total
+}
+
 // TestChaosMission is the end-to-end suite: a two-data-day mini-mission
 // runs under a randomized-but-seeded fault plan (RF outages, badge
 // death/reboot, gateway crash with volatile-state loss, uplink blackouts,
@@ -44,9 +73,15 @@ func chaosPlan(seed uint64, days int, badges []store.BadgeID, zones []string) *f
 // gateway sink must receive every record exactly once and in order — with
 // the sociometry report computed from the offloaded data byte-identical
 // to the report from the SD-card baseline.
+//
+// The whole path runs with telemetry enabled: instrumentation must be
+// pure observation, never perturbing a single byte of the results.
 func TestChaosMission(t *testing.T) {
 	const seed = 42
 	const days = 3 // day 1 acclimatization + data days 2..3
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(0)
+	tracer.Mirror(reg)
 
 	var badges []store.BadgeID
 	for id := mission.BadgeA; id <= mission.BadgeF; id++ {
@@ -65,7 +100,7 @@ func TestChaosMission(t *testing.T) {
 
 	sc := mission.DefaultScenario(seed)
 	sc.Days = days
-	res, err := mission.Run(mission.Config{Seed: seed, Scenario: sc, Faults: plan})
+	res, err := mission.Run(mission.Config{Seed: seed, Scenario: sc, Faults: plan, Telemetry: reg, Tracer: tracer})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,6 +124,7 @@ func TestChaosMission(t *testing.T) {
 		t.Fatal(err)
 	}
 	gw.MaxHeldPerBadge = 16
+	gw.Instrument(reg)
 
 	var now time.Duration
 	clock := func() time.Duration { return now }
@@ -106,6 +142,7 @@ func TestChaosMission(t *testing.T) {
 	for _, id := range truth.Badges() {
 		u := offload.NewUploader(id)
 		u.BatchSize = 32
+		u.Instrument(reg)
 		legs = append(legs, &badgeLeg{
 			id: id, u: u,
 			tr:   faultplan.NewTransport(plan, clock, lossy),
@@ -203,6 +240,7 @@ func TestChaosMission(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		p.SetTelemetry(reg)
 		return p.Report()
 	}
 	truthReport := report(truth)
@@ -215,11 +253,13 @@ func TestChaosMission(t *testing.T) {
 	// through the blackout, and conflict detection still fires on the late
 	// arrival — the day-12 failure mode aggravated by a blackout.
 	link := uplink.NewLink(20 * time.Minute)
+	link.Instrument(reg)
 	if n := plan.InstallBlackouts(link); n == 0 {
 		t.Fatal("no blackout windows installed")
 	}
 	d2 := simtime.StartOfDay(2)
 	topics := uplink.NewTopicState()
+	topics.Instrument(reg)
 	msg, err := link.Send(d2+8*time.Hour+30*time.Minute, uplink.Message{
 		From: uplink.MissionControl, Kind: uplink.Command, Topic: "ops",
 		BasisVersion: topics.Version("ops"),
@@ -244,6 +284,7 @@ func TestChaosMission(t *testing.T) {
 	// gateway down, habitat-wide RF outage) are withheld; the daemon still
 	// ingests the rest without choking on the gaps.
 	daemon := support.NewDaemon()
+	daemon.Instrument(reg)
 	daemon.Register(support.NewInactivityDetector())
 	rep := support.NewReplayer(daemon, offloaded, func(id store.BadgeID, day int) string {
 		w, _ := res.Assignment.TrueWearerOf(id, day)
@@ -255,5 +296,27 @@ func TestChaosMission(t *testing.T) {
 	}
 	if rep.Withheld() == 0 {
 		t.Error("replay gate never engaged despite RF and gateway windows")
+	}
+
+	// --- Telemetry sanity -------------------------------------------------
+	// Every instrumented layer actually reported, and the exposition is
+	// well-formed end to end.
+	for _, name := range []string{
+		"mission_ticks_total",
+		"offload_gateway_batches_total",
+		"offload_gateway_duplicates_total",
+		"uplink_blackout_deferrals_total",
+		"uplink_stale_conflicts_total",
+		"support_records_ingested_total",
+	} {
+		if got := metricTotal(reg, name); got == 0 {
+			t.Errorf("metric %s never incremented under chaos", name)
+		}
+	}
+	if err := reg.Write(io.Discard); err != nil {
+		t.Errorf("exposition write: %v", err)
+	}
+	if len(tracer.Spans()) == 0 {
+		t.Error("tracer recorded no mission spans")
 	}
 }

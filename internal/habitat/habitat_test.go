@@ -282,3 +282,35 @@ func TestQuickHabitatInvariants(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestStandardBeaconInvariants pins the construction invariant behind the
+// placeBeacons panic: Standard always lays out the atrium, so construction
+// never panics, and the paper's 27 beacon sites (two per module, nine along
+// the atrium) come out with valid room attributions.
+func TestStandardBeaconInvariants(t *testing.T) {
+	h := Standard()
+	if _, err := h.Room(Atrium); err != nil {
+		t.Fatalf("standard layout missing atrium: %v", err)
+	}
+	beacons := h.Beacons()
+	if len(beacons) != 27 {
+		t.Fatalf("beacons = %d, want 27", len(beacons))
+	}
+	atrium := 0
+	seen := make(map[int]bool)
+	for _, b := range beacons {
+		if seen[b.ID] {
+			t.Errorf("duplicate beacon ID %d", b.ID)
+		}
+		seen[b.ID] = true
+		if _, err := h.Room(b.Room); err != nil {
+			t.Errorf("beacon %d in unknown room %v", b.ID, b.Room)
+		}
+		if b.Room == Atrium {
+			atrium++
+		}
+	}
+	if atrium != 9 {
+		t.Errorf("atrium beacons = %d, want 9", atrium)
+	}
+}

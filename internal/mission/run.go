@@ -16,6 +16,7 @@ import (
 	"icares/internal/simtime"
 	"icares/internal/stats"
 	"icares/internal/store"
+	"icares/internal/telemetry"
 )
 
 // Config parameterizes a mission run.
@@ -51,6 +52,13 @@ type Config struct {
 	// nothing. RF/gateway/uplink events do not affect SD-card recording —
 	// they belong to the online offload and uplink paths.
 	Faults *faultplan.Plan
+	// Telemetry optionally receives the engine's counters (mission_ticks_total
+	// by phase, mission_fault_transitions_total by kind, mission_records gauge).
+	// Nil disables instrumentation.
+	Telemetry *telemetry.Registry
+	// Tracer optionally receives one span per mission day plus one for the
+	// whole run, on the simulated clock. Nil disables tracing.
+	Tracer *telemetry.Tracer
 }
 
 // withDefaults fills zero fields.
@@ -213,10 +221,24 @@ func Run(cfg Config) (*Result, error) {
 		lastWornPos:  make(map[store.BadgeID]geometry.Point),
 		lastTruth:    -cfg.TruthEvery,
 		planKilled:   make(map[store.BadgeID]bool),
+
+		cDayTicks:   cfg.Telemetry.Counter("mission_ticks_total", telemetry.L("phase", "day")),
+		cNightTicks: cfg.Telemetry.Counter("mission_ticks_total", telemetry.L("phase", "night")),
+		cFaultDown:  cfg.Telemetry.Counter("mission_fault_transitions_total", telemetry.L("kind", "badge_down")),
+		cFaultUp:    cfg.Telemetry.Counter("mission_fault_transitions_total", telemetry.L("kind", "badge_revive")),
+		gRecords:    cfg.Telemetry.Gauge("mission_records"),
 	}
 	start := simtime.StartOfDay(cfg.FirstDataDay)
 	end := simtime.StartOfDay(cfg.Scenario.Days + 1)
+	runSpan := cfg.Tracer.Start("mission.run", start)
+	daySpan := cfg.Tracer.Start("mission.day", start)
+	spanDay := simtime.DayOf(start)
 	for now := start; now < end; {
+		if d := simtime.DayOf(now); d != spanDay {
+			daySpan.End(now)
+			daySpan = cfg.Tracer.Start("mission.day", now)
+			spanDay = d
+		}
 		tod := simtime.TimeOfDay(now)
 		if tod >= 8*time.Hour && tod < 22*time.Hour {
 			sim.daytimeTick(now)
@@ -226,6 +248,9 @@ func Run(cfg Config) (*Result, error) {
 		sim.nightTick(now)
 		now += 10 * time.Minute
 	}
+	daySpan.End(end)
+	runSpan.End(end)
+	sim.gRecords.Set(float64(dataset.TotalRecords()))
 	return res, nil
 }
 
@@ -253,6 +278,12 @@ type simRun struct {
 	// planKilled tracks badges the fault plan took down, so reboots revive
 	// exactly those and never resurrect scripted or battery deaths.
 	planKilled map[store.BadgeID]bool
+
+	// Telemetry handles (nil handles are no-ops), resolved once so the tick
+	// loop never does a registry lookup.
+	cDayTicks, cNightTicks *telemetry.Counter
+	cFaultDown, cFaultUp   *telemetry.Counter
+	gRecords               *telemetry.Gauge
 }
 
 // applyFaults transitions badges across the fault plan's death/reboot
@@ -268,9 +299,11 @@ func (s *simRun) applyFaults(now time.Duration) {
 		switch {
 		case down && !b.Failed():
 			s.planKilled[id] = true
+			s.cFaultDown.Inc()
 			b.Fail()
 		case !down && s.planKilled[id]:
 			s.planKilled[id] = false
+			s.cFaultUp.Inc()
 			b.Revive()
 		}
 	}
@@ -311,6 +344,7 @@ func (s *simRun) daytimeTick(now time.Duration) {
 
 	s.engine.Tick(now, cfg.Tick)
 	s.res.DaytimeTicks++
+	s.cDayTicks.Inc()
 
 	assigned := make(map[store.BadgeID]bool, len(Names()))
 	for _, name := range Names() {
@@ -386,6 +420,7 @@ func (s *simRun) daytimeTick(now time.Duration) {
 // the opportunistic time-sync exchanges.
 func (s *simRun) nightTick(now time.Duration) {
 	s.applyFaults(now)
+	s.cNightTicks.Inc()
 	for _, id := range s.badgeOrder {
 		s.badges[id].Tick(now, s.dockInput(), nil)
 	}

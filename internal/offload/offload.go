@@ -9,16 +9,28 @@
 // acknowledged (at-least-once); the gateway deduplicates by (badge,
 // sequence), so the server-side stream is exactly-once in effect. All
 // state fits a microcontroller: one counter, one pending-batch map.
+//
+// # Concurrency and observability
+//
+// Gateway and Uploader are safe for concurrent use: all state, including
+// the stat counters, lives behind one mutex per component, and the only
+// way to read statistics is a single consistent StatsSnapshot — a scraper
+// can never observe refused from one instant and batches from another.
+// Components optionally mirror their counters into a telemetry.Registry
+// (Instrument) for live exposition.
 package offload
 
 import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
+	"sync"
 	"time"
 
 	"icares/internal/record"
 	"icares/internal/store"
+	"icares/internal/telemetry"
 )
 
 // Batch is one transfer unit.
@@ -64,16 +76,45 @@ func (f TransportFunc) Deliver(b Batch) bool { return f(b) }
 // its server store; held is volatile and lost on a crash. Because nothing
 // volatile is ever acked, a gateway restarted via Restore re-converges to
 // exactly-once purely through the uploaders' retransmissions.
+//
+// A Gateway is safe for concurrent use. The sink runs while the gateway's
+// lock is held (forwarding and watermark advance must be atomic), so a
+// sink must not call back into the same gateway.
 type Gateway struct {
+	// MaxHeldPerBadge bounds buffered out-of-order batches per badge; at
+	// the bound, non-gap-filling batches are refused (not acked) so the
+	// sender retries them later. Zero means unbounded. Set it before
+	// concurrent use begins.
+	MaxHeldPerBadge int
+
+	mu   sync.Mutex
 	sink func(store.BadgeID, []record.Record)
 	mark map[store.BadgeID]uint64
 	held map[store.BadgeID]map[uint64][]record.Record
-	// MaxHeldPerBadge bounds buffered out-of-order batches per badge; at
-	// the bound, non-gap-filling batches are refused (not acked) so the
-	// sender retries them later. Zero means unbounded.
-	MaxHeldPerBadge int
-	// stats
+	// heldBatches/heldRecords track the held totals incrementally so a
+	// snapshot is O(1) instead of walking every buffered batch.
+	heldBatches, heldRecords     int
 	batches, duplicates, refused int
+
+	// Telemetry mirrors (nil until Instrument; nil handles are no-ops).
+	cBatches, cDuplicates, cRefused *telemetry.Counter
+	gHeldBatches, gHeldRecords      *telemetry.Gauge
+}
+
+// GatewayStats is one consistent view of a gateway's receive counters:
+// every field was read under the same lock acquisition, at one instant.
+type GatewayStats struct {
+	// Batches counts every Offer, including duplicates and refusals.
+	Batches int
+	// Duplicates counts re-offered batches (already forwarded, or already
+	// buffered in held).
+	Duplicates int
+	// Refused counts out-of-order batches turned away at the held bound.
+	Refused int
+	// HeldBatches and HeldRecords measure the buffered out-of-order state
+	// across all badges: batches (and the records inside them) above a
+	// sequence gap, waiting for it to fill.
+	HeldBatches, HeldRecords int
 }
 
 // ErrNilSink reports a gateway without a destination.
@@ -91,20 +132,42 @@ func NewGateway(sink func(store.BadgeID, []record.Record)) (*Gateway, error) {
 	}, nil
 }
 
+// Instrument mirrors the gateway's counters into reg:
+//
+//	offload_gateway_batches_total, offload_gateway_duplicates_total,
+//	offload_gateway_refused_total, offload_gateway_held_batches,
+//	offload_gateway_held_records
+//
+// A nil registry uninstalls the mirrors.
+func (g *Gateway) Instrument(reg *telemetry.Registry) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.cBatches = reg.Counter("offload_gateway_batches_total")
+	g.cDuplicates = reg.Counter("offload_gateway_duplicates_total")
+	g.cRefused = reg.Counter("offload_gateway_refused_total")
+	g.gHeldBatches = reg.Gauge("offload_gateway_held_batches")
+	g.gHeldRecords = reg.Gauge("offload_gateway_held_records")
+}
+
 // Offer processes one received batch and returns the acknowledgement. A
 // false return means the gateway has not (yet) taken durable
 // responsibility for the batch — it is out of order (buffered in volatile
 // held, or refused past the held bound); the sender keeps it pending and
 // retransmits until the sequence gap fills.
 func (g *Gateway) Offer(b Batch) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	g.batches++
+	g.cBatches.Inc()
 	if b.Seq <= g.mark[b.Badge] {
 		g.duplicates++
+		g.cDuplicates.Inc()
 		return true // re-ack: durably forwarded, first ack evidently lost
 	}
 	return g.accept(b)
 }
 
+// accept runs under g.mu.
 func (g *Gateway) accept(b Batch) bool {
 	m := g.held[b.Badge]
 	if m == nil {
@@ -114,13 +177,16 @@ func (g *Gateway) accept(b Batch) bool {
 	if b.Seq != g.mark[b.Badge]+1 {
 		if _, ok := m[b.Seq]; ok {
 			g.duplicates++ // already buffered; still awaiting the gap
+			g.cDuplicates.Inc()
 			return false
 		}
 		if g.MaxHeldPerBadge > 0 && len(m) >= g.MaxHeldPerBadge {
 			g.refused++ // held full: refuse so the sender retries later
+			g.cRefused.Inc()
 			return false
 		}
 		m[b.Seq] = append([]record.Record{}, b.Records...)
+		g.holdDelta(1, len(b.Records))
 		// Held, not acked: held is volatile, so responsibility stays with
 		// the sender until the gap fills and the mark passes this batch.
 		return false
@@ -134,32 +200,58 @@ func (g *Gateway) accept(b Batch) bool {
 			return true
 		}
 		delete(m, g.mark[b.Badge]+1)
+		g.holdDelta(-1, -len(recs))
 		g.mark[b.Badge]++
 		g.sink(b.Badge, recs)
 	}
 }
 
+// holdDelta adjusts the held totals and their gauge mirrors (under g.mu).
+func (g *Gateway) holdDelta(batches, records int) {
+	g.heldBatches += batches
+	g.heldRecords += records
+	g.gHeldBatches.Set(float64(g.heldBatches))
+	g.gHeldRecords.Set(float64(g.heldRecords))
+}
+
+// StatsSnapshot returns every gateway counter from a single instant. This
+// is the only read path for statistics; the legacy accessors below are
+// views over it.
+func (g *Gateway) StatsSnapshot() GatewayStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return GatewayStats{
+		Batches:     g.batches,
+		Duplicates:  g.duplicates,
+		Refused:     g.refused,
+		HeldBatches: g.heldBatches,
+		HeldRecords: g.heldRecords,
+	}
+}
+
 // Stats returns receive counters.
+//
+// Deprecated: use StatsSnapshot, which additionally guarantees consistency
+// with Refused and Held.
 func (g *Gateway) Stats() (batches, duplicates int) {
-	return g.batches, g.duplicates
+	s := g.StatsSnapshot()
+	return s.Batches, s.Duplicates
 }
 
 // Refused returns how many out-of-order batches were turned away at the
 // held bound.
-func (g *Gateway) Refused() int { return g.refused }
+//
+// Deprecated: use StatsSnapshot.
+func (g *Gateway) Refused() int { return g.StatsSnapshot().Refused }
 
-// Held returns the buffered out-of-order state across all badges: how many
-// batches (and the records inside them) sit above a sequence gap waiting
-// for it to fill. With a single well-behaved uploader, held stays within
-// the uploader's MaxPending window and drains to zero once gaps fill.
+// Held returns the buffered out-of-order state across all badges. With a
+// single well-behaved uploader, held stays within the uploader's
+// MaxPending window and drains to zero once gaps fill.
+//
+// Deprecated: use StatsSnapshot.
 func (g *Gateway) Held() (batches, records int) {
-	for _, m := range g.held {
-		for _, recs := range m {
-			batches++
-			records += len(recs)
-		}
-	}
-	return batches, records
+	s := g.StatsSnapshot()
+	return s.HeldBatches, s.HeldRecords
 }
 
 // Snapshot is the durable part of a gateway's state: the per-badge
@@ -173,6 +265,8 @@ type Snapshot struct {
 
 // Snapshot captures the durable watermark state.
 func (g *Gateway) Snapshot() Snapshot {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	s := Snapshot{Marks: make(map[store.BadgeID]uint64, len(g.mark))}
 	for id, m := range g.mark {
 		s.Marks[id] = m
@@ -185,14 +279,19 @@ func (g *Gateway) Snapshot() Snapshot {
 // treated as duplicates (they already reached the sink), so a restarted
 // gateway re-converges to exactly-once as uploaders retransmit.
 func (g *Gateway) Restore(s Snapshot) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	g.mark = make(map[store.BadgeID]uint64, len(s.Marks))
 	for id, m := range s.Marks {
 		g.mark[id] = m
 	}
 	g.held = make(map[store.BadgeID]map[uint64][]record.Record)
+	g.holdDelta(-g.heldBatches, -g.heldRecords)
 }
 
-// Uploader is the badge-side sender.
+// Uploader is the badge-side sender. It is safe for concurrent use: a
+// flush in one goroutine and a stats scrape in another never race, and the
+// scrape sees one consistent snapshot.
 type Uploader struct {
 	badge store.BadgeID
 	// BatchSize is the number of records per batch.
@@ -208,6 +307,7 @@ type Uploader struct {
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
 
+	mu      sync.Mutex
 	buffer  []record.Record
 	pending map[uint64]Batch
 	nextSeq uint64
@@ -216,6 +316,24 @@ type Uploader struct {
 	backoffUntil time.Duration
 
 	sent, retransmits, skipped int
+
+	// Telemetry mirrors (nil until Instrument).
+	cSent, cRetransmits, cSkipped       *telemetry.Counter
+	gBuffered, gPending, gBackoffStreak *telemetry.Gauge
+}
+
+// UploaderStats is one consistent view of an uploader's send state.
+type UploaderStats struct {
+	// Sent counts first transmissions, Retransmits re-sends of pending
+	// batches, Skipped FlushAt calls suppressed by backoff.
+	Sent, Retransmits, Skipped int
+	// Buffered is records awaiting batching; Pending is batches awaiting
+	// acknowledgement.
+	Buffered, Pending int
+	// FailStreak is the consecutive fully-failed flush rounds (the backoff
+	// exponent); BackoffUntil is when FlushAt resumes (0 = not backing off).
+	FailStreak   int
+	BackoffUntil time.Duration
 }
 
 // NewUploader builds an uploader for a badge.
@@ -230,24 +348,66 @@ func NewUploader(badge store.BadgeID) *Uploader {
 	}
 }
 
+// Instrument mirrors the uploader's counters into reg, labelled by badge:
+//
+//	offload_uploader_sent_total{badge=...},
+//	offload_uploader_retransmits_total, offload_uploader_skipped_total,
+//	offload_uploader_buffered, offload_uploader_pending,
+//	offload_uploader_backoff_streak
+func (u *Uploader) Instrument(reg *telemetry.Registry) {
+	badge := telemetry.L("badge", strconv.FormatUint(uint64(u.badge), 10))
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.cSent = reg.Counter("offload_uploader_sent_total", badge)
+	u.cRetransmits = reg.Counter("offload_uploader_retransmits_total", badge)
+	u.cSkipped = reg.Counter("offload_uploader_skipped_total", badge)
+	u.gBuffered = reg.Gauge("offload_uploader_buffered", badge)
+	u.gPending = reg.Gauge("offload_uploader_pending", badge)
+	u.gBackoffStreak = reg.Gauge("offload_uploader_backoff_streak", badge)
+}
+
 // Enqueue buffers one record for upload.
 func (u *Uploader) Enqueue(r record.Record) {
+	u.mu.Lock()
 	u.buffer = append(u.buffer, r)
+	u.gBuffered.Set(float64(len(u.buffer)))
+	u.mu.Unlock()
 }
 
 // Buffered returns how many records await batching.
-func (u *Uploader) Buffered() int { return len(u.buffer) }
+func (u *Uploader) Buffered() int { return u.StatsSnapshot().Buffered }
 
 // Pending returns how many batches await acknowledgement.
-func (u *Uploader) Pending() int { return len(u.pending) }
+func (u *Uploader) Pending() int { return u.StatsSnapshot().Pending }
+
+// StatsSnapshot returns every uploader counter from a single instant.
+func (u *Uploader) StatsSnapshot() UploaderStats {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return UploaderStats{
+		Sent:         u.sent,
+		Retransmits:  u.retransmits,
+		Skipped:      u.skipped,
+		Buffered:     len(u.buffer),
+		Pending:      len(u.pending),
+		FailStreak:   u.failStreak,
+		BackoffUntil: u.backoffUntil,
+	}
+}
 
 // Stats returns send counters.
+//
+// Deprecated: use StatsSnapshot, which additionally guarantees consistency
+// with Skipped, Buffered, and Pending.
 func (u *Uploader) Stats() (sent, retransmits int) {
-	return u.sent, u.retransmits
+	s := u.StatsSnapshot()
+	return s.Sent, s.Retransmits
 }
 
 // Skipped returns how many FlushAt calls backoff suppressed.
-func (u *Uploader) Skipped() int { return u.skipped }
+//
+// Deprecated: use StatsSnapshot.
+func (u *Uploader) Skipped() int { return u.StatsSnapshot().Skipped }
 
 // FlushAt is TryFlush with capped exponential backoff on the caller's
 // clock: after a round in which every delivery attempt failed, subsequent
@@ -256,15 +416,18 @@ func (u *Uploader) Skipped() int { return u.skipped }
 // stops hammering its radio, yet probes again within BackoffMax of
 // coverage returning. Any acknowledgement resets the backoff.
 func (u *Uploader) FlushAt(now time.Duration, t Transport) int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
 	if u.BackoffBase <= 0 {
-		return u.TryFlush(t)
+		return u.tryFlush(t)
 	}
 	if now < u.backoffUntil {
 		u.skipped++
+		u.cSkipped.Inc()
 		return 0
 	}
 	attemptsBefore := u.sent + u.retransmits
-	acked := u.TryFlush(t)
+	acked := u.tryFlush(t)
 	attempted := u.sent + u.retransmits - attemptsBefore
 	switch {
 	case acked > 0:
@@ -280,6 +443,7 @@ func (u *Uploader) FlushAt(now time.Duration, t Transport) int {
 		}
 		u.backoffUntil = now + delay
 	}
+	u.gBackoffStreak.Set(float64(u.failStreak))
 	return acked
 }
 
@@ -290,6 +454,15 @@ func (u *Uploader) FlushAt(now time.Duration, t Transport) int {
 // passing the atrium); calling it without coverage is harmless — nothing
 // acks, everything stays pending.
 func (u *Uploader) TryFlush(t Transport) int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.tryFlush(t)
+}
+
+// tryFlush runs under u.mu. The transport's Deliver is invoked while the
+// lock is held, so a transport must not call back into the same uploader
+// (delivering into a Gateway is fine — each component has its own lock).
+func (u *Uploader) tryFlush(t Transport) int {
 	if t == nil {
 		return 0
 	}
@@ -302,6 +475,7 @@ func (u *Uploader) TryFlush(t Transport) int {
 	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
 	for _, s := range seqs {
 		u.retransmits++
+		u.cRetransmits.Inc()
 		if t.Deliver(u.pending[s]) {
 			delete(u.pending, s)
 			acked++
@@ -321,12 +495,15 @@ func (u *Uploader) TryFlush(t Transport) int {
 		}
 		u.buffer = u.buffer[n:]
 		u.sent++
+		u.cSent.Inc()
 		if t.Deliver(b) {
 			acked++
 		} else {
 			u.pending[b.Seq] = b
 		}
 	}
+	u.gBuffered.Set(float64(len(u.buffer)))
+	u.gPending.Set(float64(len(u.pending)))
 	return acked
 }
 
@@ -336,7 +513,9 @@ type LossyTransport struct {
 	Gateway *Gateway
 	// LossUp and LossDown are the batch and ack loss probabilities.
 	LossUp, LossDown float64
-	// Rand returns uniform values in [0,1).
+	// Rand returns uniform values in [0,1). It is called from whichever
+	// goroutine flushes, so share one only within a single flushing
+	// goroutine (or make it safe for concurrent use).
 	Rand func() float64
 }
 
@@ -376,24 +555,25 @@ func Drain(u *Uploader, t Transport, maxRounds int) (int, error) {
 	}
 	stalled := 0
 	for round := 1; round <= maxRounds; round++ {
-		sentBefore, _ := u.Stats()
+		sentBefore := u.StatsSnapshot().Sent
 		acked := u.TryFlush(t)
-		if u.Buffered() == 0 && u.Pending() == 0 {
+		s := u.StatsSnapshot()
+		if s.Buffered == 0 && s.Pending == 0 {
 			return round, nil
 		}
-		sentAfter, _ := u.Stats()
-		if acked == 0 && sentAfter == sentBefore {
+		if acked == 0 && s.Sent == sentBefore {
 			stalled++
 			if stalled >= DefaultStallRounds {
 				return round, fmt.Errorf("offload: %w after %d rounds, %d fully stalled (pending %d, buffered %d)",
-					ErrStalled, round, stalled, u.Pending(), u.Buffered())
+					ErrStalled, round, stalled, s.Pending, s.Buffered)
 			}
 			continue
 		}
 		stalled = 0
 	}
+	s := u.StatsSnapshot()
 	return maxRounds, fmt.Errorf("offload: %w after %d rounds (pending %d, buffered %d)",
-		ErrStalled, maxRounds, u.Pending(), u.Buffered())
+		ErrStalled, maxRounds, s.Pending, s.Buffered)
 }
 
 // ErrStalled reports a drain that never completed.

@@ -1,6 +1,7 @@
 package sociometry
 
 import (
+	"math"
 	"time"
 
 	"icares/internal/localization"
@@ -37,6 +38,9 @@ func (p *Pipeline) MeanSpeedByDay(name string) map[int]float64 {
 	sums := make(map[int]float64)
 	counts := make(map[int]int)
 	for _, s := range speeds {
+		if math.IsNaN(s.Speed) || math.IsInf(s.Speed, 0) {
+			continue
+		}
 		d := simtime.DayOf(s.At)
 		sums[d] += s.Speed
 		counts[d]++

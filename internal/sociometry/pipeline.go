@@ -45,6 +45,7 @@ import (
 	"icares/internal/simtime"
 	"icares/internal/speech"
 	"icares/internal/store"
+	"icares/internal/telemetry"
 	"icares/internal/timesync"
 )
 
@@ -133,6 +134,9 @@ type Pipeline struct {
 	// wearerCache memoizes the per-day BadgeID→astronaut inverse of
 	// BadgeFor, so IR attribution is O(1) per record instead of O(crew).
 	wearerCache memo[int, map[store.BadgeID]string]
+
+	// tel optionally receives per-stage compute timings (see SetTelemetry).
+	tel *telemetry.Registry
 }
 
 // memoOnce is a tiny once-with-reset used for the rectification handshake.
@@ -160,6 +164,24 @@ func NewPipeline(src Source) (*Pipeline, error) {
 
 // Source returns the pipeline's source.
 func (p *Pipeline) Source() Source { return p.src }
+
+// SetTelemetry mirrors each memoized derivation's compute time (wall
+// clock, seconds) into reg's "sociometry_stage_seconds" histogram,
+// labelled by stage (records, worn, track, intervals, frames, activity) —
+// the per-stage profile of the analysis engine. Because derivations are
+// compute-once, each (stage, astronaut) contributes one observation per
+// cache fill; invalidation and recomputation contribute again. Set it
+// before the first analysis, like the other pipeline parameters.
+func (p *Pipeline) SetTelemetry(reg *telemetry.Registry) { p.tel = reg }
+
+// observeStage records one stage computation's wall time.
+func (p *Pipeline) observeStage(stage string, start time.Time) {
+	if p.tel == nil {
+		return
+	}
+	p.tel.Histogram("sociometry_stage_seconds", telemetry.DefBuckets,
+		telemetry.L("stage", stage)).Observe(time.Since(start).Seconds())
+}
 
 // Horizon returns the end of the data period.
 func (p *Pipeline) Horizon() time.Duration {
@@ -220,6 +242,7 @@ func (p *Pipeline) RecordsFor(name string) []record.Record {
 		return nil
 	}
 	return p.recordsCache.get(name, func(name string) []record.Record {
+		defer p.observeStage("records", time.Now())
 		var out []record.Record
 		for day := p.src.FirstDay; day <= p.src.LastDay; day++ {
 			id := p.src.BadgeFor(name, day)
@@ -236,6 +259,7 @@ func (p *Pipeline) RecordsFor(name string) []record.Record {
 // WornRanges returns the astronaut's badge-worn periods (memoized).
 func (p *Pipeline) WornRanges(name string) record.RangeSet {
 	return p.wornCache.get(name, func(name string) record.RangeSet {
+		defer p.observeStage("worn", time.Now())
 		return record.WornRanges(p.RecordsFor(name), p.Horizon())
 	})
 }
@@ -246,6 +270,7 @@ func (p *Pipeline) WornRanges(name string) record.RangeSet {
 // read-only view.
 func (p *Pipeline) Track(name string) []localization.Fix {
 	return p.trackCache.get(name, func(name string) []localization.Fix {
+		defer p.observeStage("track", time.Now())
 		loc, err := localization.NewLocator(p.src.Habitat)
 		if err != nil {
 			return nil
@@ -266,6 +291,7 @@ func (p *Pipeline) Track(name string) []localization.Fix {
 // dwell filter applied (memoized).
 func (p *Pipeline) Intervals(name string) []localization.Interval {
 	return p.intervalCache.get(name, func(name string) []localization.Interval {
+		defer p.observeStage("intervals", time.Now())
 		return localization.RoomIntervals(p.Track(name), p.MinDwell, localization.DefaultMaxGap)
 	})
 }
@@ -273,6 +299,7 @@ func (p *Pipeline) Intervals(name string) []localization.Interval {
 // Frames returns the astronaut's analyzed mic frames while worn (memoized).
 func (p *Pipeline) Frames(name string) []speech.Frame {
 	return p.framesCache.get(name, func(name string) []speech.Frame {
+		defer p.observeStage("frames", time.Now())
 		frames := speech.Frames(p.RecordsFor(name), p.SpeechConfig)
 		return speech.FilterWorn(frames, p.WornRanges(name))
 	})
@@ -284,6 +311,7 @@ func (p *Pipeline) Frames(name string) []speech.Frame {
 // agree on the worn-time filter.
 func (p *Pipeline) walkingSamples(name string) []activity.Sample {
 	return p.activityCache.get(name, func(name string) []activity.Sample {
+		defer p.observeStage("activity", time.Now())
 		return activity.FilterWorn(
 			activity.Classify(p.RecordsFor(name), activity.DefaultConfig()),
 			p.WornRanges(name),

@@ -71,15 +71,21 @@ func (p *Pipeline) reportTransitions(b *strings.Builder) {
 func (p *Pipeline) reportMobility(b *strings.Builder) {
 	fmt.Fprintf(b, "## Mobility (Fig. 4)\n\n| astronaut | walking | mean speed m/s |\n|---|---|---|\n")
 	for _, name := range p.src.Names {
-		speeds := p.MeanSpeedByDay(name)
-		var mean float64
-		if len(speeds) > 0 {
-			for _, v := range speeds {
-				mean += v
+		var sum float64
+		var n int
+		for _, v := range p.MeanSpeedByDay(name) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
 			}
-			mean /= float64(len(speeds))
+			sum += v
+			n++
 		}
-		fmt.Fprintf(b, "| %s | %.3f | %.2f |\n", name, p.WalkingFraction(name), mean)
+		var mean float64
+		if n > 0 {
+			mean = sum / float64(n)
+		}
+		fmt.Fprintf(b, "| %s | %.3f | %.2f |\n",
+			name, sanitize(p.WalkingFraction(name)), sanitize(mean))
 	}
 	b.WriteString("\n")
 }
@@ -156,10 +162,20 @@ func (p *Pipeline) reportEnvironment(b *strings.Builder) {
 }
 
 func na(v float64) string {
-	if math.IsNaN(v) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
 		return "n/a"
 	}
 	return fmt.Sprintf("%.2f", v)
+}
+
+// sanitize clamps a non-finite aggregate to zero: when a chaos plan starves
+// an astronaut of samples, a 0/0 or x/0 upstream must render as 0, not leak
+// "NaN"/"Inf" into a numeric report cell.
+func sanitize(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
 }
 
 func sortedKeys(m map[int]float64) []int {

@@ -193,3 +193,32 @@ func TestQuickRNGProperties(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// The panic paths in this package were audited for reachability from user
+// input: every Intn call site guards n > 0 (group sizes, generator length
+// checks) and every Choice call site guards non-empty weights, so both
+// panics mark programming errors, not input errors. These tests pin the
+// documented contract so a silent behavior change (returning 0, say) cannot
+// mask a corrupted caller.
+
+func TestIntnPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(-3) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(-3)
+}
+
+func TestChoicePanicsOnEmpty(t *testing.T) {
+	for _, weights := range [][]float64{nil, {}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Choice(%v) did not panic", weights)
+				}
+			}()
+			NewRNG(1).Choice(weights)
+		}()
+	}
+}

@@ -24,6 +24,7 @@ import (
 
 	"icares/internal/record"
 	"icares/internal/store"
+	"icares/internal/telemetry"
 )
 
 // Severity grades an alert.
@@ -82,6 +83,13 @@ type Daemon struct {
 	// SweepEvery is the periodic evaluation interval.
 	SweepEvery time.Duration
 	lastSweep  time.Duration
+
+	// Telemetry handles (nil until Instrument; nil handles are no-ops).
+	reg                  *telemetry.Registry
+	cIngested, cScrubbed *telemetry.Counter
+	cSweeps              *telemetry.Counter
+	cAlertsByKind        map[string]*telemetry.Counter
+	gDetectors, gKnown   *telemetry.Gauge
 }
 
 // NewDaemon creates a daemon with no detectors registered.
@@ -94,7 +102,29 @@ func NewDaemon() *Daemon {
 }
 
 // Register adds a detector.
-func (d *Daemon) Register(det Detector) { d.detectors = append(d.detectors, det) }
+func (d *Daemon) Register(det Detector) {
+	d.detectors = append(d.detectors, det)
+	d.gDetectors.Set(float64(len(d.detectors)))
+}
+
+// Instrument mirrors the daemon's ingestion and alert counters into reg:
+//
+//	support_records_ingested_total, support_privacy_scrubbed_total,
+//	support_sweeps_total, support_alerts_total{kind=...},
+//	support_detectors, support_known_badges
+//
+// Call it before ingestion starts; like the daemon itself, instrumentation
+// assumes a single ingesting goroutine.
+func (d *Daemon) Instrument(reg *telemetry.Registry) {
+	d.reg = reg
+	d.cIngested = reg.Counter("support_records_ingested_total")
+	d.cScrubbed = reg.Counter("support_privacy_scrubbed_total")
+	d.cSweeps = reg.Counter("support_sweeps_total")
+	d.cAlertsByKind = make(map[string]*telemetry.Counter)
+	d.gDetectors = reg.Gauge("support_detectors")
+	d.gDetectors.Set(float64(len(d.detectors)))
+	d.gKnown = reg.Gauge("support_known_badges")
+}
 
 // Privacy returns the daemon's privacy guard.
 func (d *Daemon) Privacy() *PrivacyGuard { return d.privacy }
@@ -126,6 +156,14 @@ func (d *Daemon) AlertsOfKind(kind string) []Alert {
 func (d *Daemon) raise(alerts []Alert) {
 	for _, a := range alerts {
 		d.alerts = append(d.alerts, a)
+		if d.reg != nil {
+			c, ok := d.cAlertsByKind[a.Kind]
+			if !ok {
+				c = d.reg.Counter("support_alerts_total", telemetry.L("kind", a.Kind))
+				d.cAlertsByKind[a.Kind] = c
+			}
+			c.Inc()
+		}
 		for _, fn := range d.subs {
 			fn(a)
 		}
@@ -138,7 +176,10 @@ func (d *Daemon) raise(alerts []Alert) {
 // safety monitoring must survive privacy mode.
 func (d *Daemon) Ingest(at time.Duration, wearer string, badge store.BadgeID, rec record.Record) {
 	d.health.Seen(badge, at)
+	d.gKnown.Set(float64(len(d.health.lastSeen)))
+	d.cIngested.Inc()
 	if d.privacy.Suppressed(wearer, at) && privacySensitive(rec.Kind) {
+		d.cScrubbed.Inc()
 		return
 	}
 	for _, det := range d.detectors {
@@ -152,6 +193,7 @@ func (d *Daemon) Ingest(at time.Duration, wearer string, badge store.BadgeID, re
 
 // Sweep runs every detector's periodic evaluation.
 func (d *Daemon) Sweep(now time.Duration) {
+	d.cSweeps.Inc()
 	for _, det := range d.detectors {
 		d.raise(det.Sweep(now))
 	}

@@ -1,0 +1,33 @@
+package telemetry
+
+import (
+	"expvar"
+	"sync"
+)
+
+// expvar integration: habitatd publishes its registry so the standard
+// debug endpoints (/debug/vars alongside /debug/pprof) expose live system
+// state with zero extra dependencies.
+
+var (
+	pubMu   sync.Mutex
+	pubDone = make(map[string]bool)
+)
+
+// PublishExpvar registers the registry under name in the process-wide
+// expvar namespace; /debug/vars then shows the full exposition text under
+// that key, re-rendered on every scrape. Publishing the same name twice is
+// a no-op for the second caller (expvar itself panics on duplicates, which
+// would turn a double-initialized daemon into a crash).
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil {
+		return
+	}
+	pubMu.Lock()
+	defer pubMu.Unlock()
+	if pubDone[name] {
+		return
+	}
+	pubDone[name] = true
+	expvar.Publish(name, expvar.Func(func() any { return r.String() }))
+}

@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Span is one completed traced operation on the simulated mission clock.
+// Start and End are mission times (durations since mission start), not wall
+// clock: a trace of a 14-day simulated mission reads in mission time, and
+// equal seeds produce equal traces.
+type Span struct {
+	Name       string
+	Start, End time.Duration
+}
+
+// Dur returns the span length in mission time.
+func (s Span) Dur() time.Duration { return s.End - s.Start }
+
+// Tracer collects spans into a bounded ring: when the capacity is reached
+// the oldest spans are dropped, so a months-long unattended run keeps the
+// recent history a crew debugging an incident actually wants. All methods
+// are safe for concurrent use and nil-receiver safe.
+type Tracer struct {
+	mu      sync.Mutex
+	spans   []Span
+	start   int // ring head: index of the oldest span
+	count   int
+	cap     int
+	dropped uint64
+	// hist optionally mirrors span durations (seconds) into a histogram
+	// per span name, for aggregate timing without reading raw spans.
+	reg *Registry
+}
+
+// DefaultTraceCapacity bounds a tracer built with capacity <= 0.
+const DefaultTraceCapacity = 4096
+
+// SpanBuckets are the histogram bounds for mirrored span durations, in
+// seconds of mission time: spans on the simulated clock range from
+// sub-minute operations to multi-day phases, so the wall-clock DefBuckets
+// (capped at 10s) would collapse them all into +Inf.
+var SpanBuckets = []float64{
+	1, 60, 300, 900, 3600, 6 * 3600, 12 * 3600, 86400, 3 * 86400, 7 * 86400,
+}
+
+// NewTracer creates a tracer retaining up to capacity spans
+// (DefaultTraceCapacity if capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{spans: make([]Span, capacity), cap: capacity}
+}
+
+// Mirror also records every ended span's duration into
+// reg's "trace_span_seconds" histogram, labelled by span name.
+func (t *Tracer) Mirror(reg *Registry) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.reg = reg
+	t.mu.Unlock()
+}
+
+// ActiveSpan is a started, not yet ended span.
+type ActiveSpan struct {
+	t     *Tracer
+	name  string
+	start time.Duration
+}
+
+// Start opens a span at mission time at. End it with ActiveSpan.End; an
+// unended span is never recorded.
+func (t *Tracer) Start(name string, at time.Duration) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	return &ActiveSpan{t: t, name: name, start: at}
+}
+
+// End closes the span at mission time at and records it.
+func (s *ActiveSpan) End(at time.Duration) {
+	if s == nil || s.t == nil {
+		return
+	}
+	s.t.record(Span{Name: s.name, Start: s.start, End: at})
+}
+
+// record appends one completed span, evicting the oldest past capacity.
+func (t *Tracer) record(sp Span) {
+	t.mu.Lock()
+	if t.count == t.cap {
+		t.spans[t.start] = sp
+		t.start = (t.start + 1) % t.cap
+		t.dropped++
+	} else {
+		t.spans[(t.start+t.count)%t.cap] = sp
+		t.count++
+	}
+	reg := t.reg
+	t.mu.Unlock()
+	if reg != nil {
+		reg.Histogram("trace_span_seconds", SpanBuckets, L("span", sp.Name)).
+			Observe(sp.Dur().Seconds())
+	}
+}
+
+// Spans returns the retained spans, oldest first (copy).
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, t.count)
+	for i := 0; i < t.count; i++ {
+		out = append(out, t.spans[(t.start+i)%t.cap])
+	}
+	return out
+}
+
+// Dropped returns how many spans the ring has evicted.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Write dumps the retained spans oldest-first, one per line:
+//
+//	span <name> start=<mission time> end=<mission time> dur=<duration>
+//
+// Under a single-goroutine simulation loop the dump is deterministic for
+// equal seeds, since every timestamp is simulated.
+func (t *Tracer) Write(w io.Writer) error {
+	for _, sp := range t.Spans() {
+		if _, err := fmt.Fprintf(w, "span %s start=%s end=%s dur=%s\n",
+			sp.Name, sp.Start, sp.End, sp.Dur()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerSpans(t *testing.T) {
+	tr := NewTracer(8)
+	sp := tr.Start("mission.day", 2*time.Hour)
+	sp.End(3 * time.Hour)
+	tr.Start("offload.flush", 3*time.Hour).End(3*time.Hour + time.Minute)
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	if spans[0].Name != "mission.day" || spans[0].Dur() != time.Hour {
+		t.Errorf("span 0 = %+v", spans[0])
+	}
+	if spans[1].Dur() != time.Minute {
+		t.Errorf("span 1 dur = %v, want 1m", spans[1].Dur())
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		at := time.Duration(i) * time.Second
+		tr.Start("s", at).End(at + time.Second)
+	}
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("retained = %d, want 3", len(spans))
+	}
+	// Oldest first, and the two earliest spans were evicted.
+	if spans[0].Start != 2*time.Second || spans[2].Start != 4*time.Second {
+		t.Errorf("retained window = [%v, %v], want [2s, 4s]", spans[0].Start, spans[2].Start)
+	}
+	if tr.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", tr.Dropped())
+	}
+}
+
+func TestTracerWriteDeterministic(t *testing.T) {
+	mk := func() string {
+		tr := NewTracer(16)
+		tr.Start("a", 0).End(time.Second)
+		tr.Start("b", time.Second).End(3*time.Second + 500*time.Millisecond)
+		var b strings.Builder
+		if err := tr.Write(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	first := mk()
+	if first != mk() {
+		t.Error("equal span sequences rendered differently")
+	}
+	if !strings.Contains(first, "span b start=1s end=3.5s dur=2.5s") {
+		t.Errorf("unexpected dump:\n%s", first)
+	}
+}
+
+func TestTracerMirror(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(4)
+	tr.Mirror(r)
+	tr.Start("tick", 0).End(2 * time.Second)
+	s := r.Histogram("trace_span_seconds", DefBuckets, L("span", "tick")).Snapshot()
+	if s.Count != 1 || s.Sum != 2 {
+		t.Errorf("mirrored histogram = count %d sum %v, want 1/2", s.Count, s.Sum)
+	}
+}

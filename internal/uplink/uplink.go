@@ -13,7 +13,10 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
+
+	"icares/internal/telemetry"
 )
 
 // Endpoint identifies a side of the link.
@@ -94,15 +97,19 @@ var (
 const DefaultDelay = 20 * time.Minute
 
 // Link is a bidirectional store-and-forward channel with one-way delay and
-// a byte-rate cap.
+// a byte-rate cap. A Link is safe for concurrent use: the habitat side,
+// the mission-control side, and a metrics scraper may all act on it at
+// once, and StatsSnapshot always reads one consistent instant.
 type Link struct {
 	delay time.Duration
 	// BytesPerSecond caps throughput; queued messages serialize. Zero
-	// means unlimited.
+	// means unlimited. Set before concurrent use begins.
 	BytesPerSecond int
-	// MTU bounds a single message (0 = unlimited).
+	// MTU bounds a single message (0 = unlimited). Set before concurrent
+	// use begins.
 	MTU int
 
+	mu       sync.Mutex
 	nextID   uint64
 	inFlight map[Endpoint][]Message // keyed by destination
 	// lineFree is when the shared transmit line is next idle, per sender.
@@ -111,6 +118,35 @@ type Link struct {
 	// blackouts are intervals during which no transmission may start;
 	// sends queue and begin when the window lifts. Sorted by start.
 	blackouts []blackout
+	// blackout deferral accounting: how many sends a blackout pushed, and
+	// the total transmit time deferred.
+	deferrals     int
+	deferredTotal time.Duration
+
+	// Telemetry mirrors (nil until Instrument; nil handles are no-ops).
+	cMessages, cBytes map[Endpoint]*telemetry.Counter
+	gPending          map[Endpoint]*telemetry.Gauge
+	cDeferrals        *telemetry.Counter
+	hDefer            *telemetry.Histogram
+}
+
+// DeferBuckets is the histogram layout for blackout deferrals in seconds
+// (a minute to a workday — solar conjunctions are long).
+var DeferBuckets = []float64{60, 300, 900, 1800, 3600, 7200, 14400, 28800}
+
+// LinkStats is one consistent view of a link's traffic state.
+type LinkStats struct {
+	// Messages is the total sent over the link (both directions).
+	Messages uint64
+	// PendingToHabitat and PendingToMissionControl count undelivered
+	// messages per destination — the queue depth.
+	PendingToHabitat, PendingToMissionControl int
+	// BytesFromHabitat and BytesFromMissionControl are sender byte totals.
+	BytesFromHabitat, BytesFromMissionControl int64
+	// BlackoutDeferrals counts sends a blackout pushed out; BlackoutDeferred
+	// is the total transmit time deferred.
+	BlackoutDeferrals int
+	BlackoutDeferred  time.Duration
 }
 
 // blackout is one no-transmit interval [from, to).
@@ -133,6 +169,41 @@ func NewLink(delay time.Duration) *Link {
 // Delay returns the one-way latency.
 func (l *Link) Delay() time.Duration { return l.delay }
 
+// Instrument mirrors the link's counters into reg:
+//
+//	uplink_messages_total{from=...}, uplink_sent_bytes_total{from=...},
+//	uplink_pending{dst=...}, uplink_blackout_deferrals_total,
+//	uplink_blackout_defer_seconds (histogram, DeferBuckets)
+func (l *Link) Instrument(reg *telemetry.Registry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.cMessages = make(map[Endpoint]*telemetry.Counter)
+	l.cBytes = make(map[Endpoint]*telemetry.Counter)
+	l.gPending = make(map[Endpoint]*telemetry.Gauge)
+	for _, e := range []Endpoint{Habitat, MissionControl} {
+		l.cMessages[e] = reg.Counter("uplink_messages_total", telemetry.L("from", e.String()))
+		l.cBytes[e] = reg.Counter("uplink_sent_bytes_total", telemetry.L("from", e.String()))
+		l.gPending[e] = reg.Gauge("uplink_pending", telemetry.L("dst", e.String()))
+	}
+	l.cDeferrals = reg.Counter("uplink_blackout_deferrals_total")
+	l.hDefer = reg.Histogram("uplink_blackout_defer_seconds", DeferBuckets)
+}
+
+// StatsSnapshot returns every link counter from a single instant.
+func (l *Link) StatsSnapshot() LinkStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LinkStats{
+		Messages:                l.nextID,
+		PendingToHabitat:        len(l.inFlight[Habitat]),
+		PendingToMissionControl: len(l.inFlight[MissionControl]),
+		BytesFromHabitat:        l.sent[Habitat],
+		BytesFromMissionControl: l.sent[MissionControl],
+		BlackoutDeferrals:       l.deferrals,
+		BlackoutDeferred:        l.deferredTotal,
+	}
+}
+
 // AddBlackout registers [from, to) as a communication blackout (solar
 // conjunction, antenna repointing, a dust storm over the relay). The link
 // queues rather than drops: a message sent during a blackout starts
@@ -142,6 +213,8 @@ func (l *Link) AddBlackout(from, to time.Duration) {
 	if to <= from {
 		return
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	l.blackouts = append(l.blackouts, blackout{from: from, to: to})
 	sort.Slice(l.blackouts, func(i, j int) bool {
 		return l.blackouts[i].from < l.blackouts[j].from
@@ -150,6 +223,8 @@ func (l *Link) AddBlackout(from, to time.Duration) {
 
 // Blacked reports whether transmission is blocked at mission time at.
 func (l *Link) Blacked(at time.Duration) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	for _, b := range l.blackouts {
 		if at >= b.from && at < b.to {
 			return true
@@ -193,6 +268,8 @@ func (l *Link) Send(now time.Duration, msg Message) (Message, error) {
 	if l.MTU > 0 && msg.Bytes > l.MTU {
 		return Message{}, fmt.Errorf("%w: %d > %d", ErrTooLarge, msg.Bytes, l.MTU)
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	l.nextID++
 	msg.ID = l.nextID
 	msg.SentAt = now
@@ -201,7 +278,15 @@ func (l *Link) Send(now time.Duration, msg Message) (Message, error) {
 	if free := l.lineFree[msg.From]; free > txStart {
 		txStart = free
 	}
-	txStart = l.deferPastBlackouts(txStart)
+	clear := l.deferPastBlackouts(txStart)
+	if clear > txStart {
+		deferred := clear - txStart
+		l.deferrals++
+		l.deferredTotal += deferred
+		l.cDeferrals.Inc()
+		l.hDefer.Observe(deferred.Seconds())
+	}
+	txStart = clear
 	var txTime time.Duration
 	if l.BytesPerSecond > 0 && msg.Bytes > 0 {
 		txTime = time.Duration(float64(msg.Bytes) / float64(l.BytesPerSecond) * float64(time.Second))
@@ -211,12 +296,17 @@ func (l *Link) Send(now time.Duration, msg Message) (Message, error) {
 
 	l.inFlight[dst] = append(l.inFlight[dst], msg)
 	l.sent[msg.From] += int64(msg.Bytes)
+	l.cMessages[msg.From].Inc()
+	l.cBytes[msg.From].Add(uint64(msg.Bytes))
+	l.gPending[dst].Set(float64(len(l.inFlight[dst])))
 	return msg, nil
 }
 
 // Receive returns (and removes) all messages that have arrived at the
 // endpoint by mission time now, in arrival order.
 func (l *Link) Receive(at Endpoint, now time.Duration) []Message {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	queue := l.inFlight[at]
 	var arrived, pending []Message
 	for _, m := range queue {
@@ -227,6 +317,7 @@ func (l *Link) Receive(at Endpoint, now time.Duration) []Message {
 		}
 	}
 	l.inFlight[at] = pending
+	l.gPending[at].Set(float64(len(pending)))
 	sort.Slice(arrived, func(i, j int) bool {
 		if arrived[i].ArrivesAt != arrived[j].ArrivesAt {
 			return arrived[i].ArrivesAt < arrived[j].ArrivesAt
@@ -238,16 +329,28 @@ func (l *Link) Receive(at Endpoint, now time.Duration) []Message {
 
 // Pending returns the number of undelivered messages heading to the
 // endpoint.
-func (l *Link) Pending(at Endpoint) int { return len(l.inFlight[at]) }
+func (l *Link) Pending(at Endpoint) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.inFlight[at])
+}
 
 // BytesSent returns total bytes sent by the endpoint.
-func (l *Link) BytesSent(from Endpoint) int64 { return l.sent[from] }
+func (l *Link) BytesSent(from Endpoint) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sent[from]
+}
 
 // TopicState tracks per-topic state versions on one side of the link and
 // detects stale commands — the day-12 failure mode: a command composed
 // against a superseded state version arriving after the crew already acted.
+// Safe for concurrent use.
 type TopicState struct {
-	versions map[string]uint64
+	mu        sync.Mutex
+	versions  map[string]uint64
+	conflicts int
+	cConflict *telemetry.Counter
 }
 
 // NewTopicState creates an empty version tracker.
@@ -255,12 +358,33 @@ func NewTopicState() *TopicState {
 	return &TopicState{versions: make(map[string]uint64)}
 }
 
+// Instrument counts flagged stale commands into reg as
+// uplink_stale_conflicts_total.
+func (t *TopicState) Instrument(reg *telemetry.Registry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cConflict = reg.Counter("uplink_stale_conflicts_total")
+}
+
+// Conflicts returns how many stale commands Check has flagged.
+func (t *TopicState) Conflicts() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.conflicts
+}
+
 // Version returns the current version of a topic (0 if never advanced).
-func (t *TopicState) Version(topic string) uint64 { return t.versions[topic] }
+func (t *TopicState) Version(topic string) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.versions[topic]
+}
 
 // Advance records a local state change on the topic (e.g. the crew took a
 // course of action) and returns the new version.
 func (t *TopicState) Advance(topic string) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.versions[topic]++
 	return t.versions[topic]
 }
@@ -278,8 +402,12 @@ func (t *TopicState) Check(msg Message) *Conflict {
 	if msg.Kind != Command {
 		return nil
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	cur := t.versions[msg.Topic]
 	if msg.BasisVersion < cur {
+		t.conflicts++
+		t.cConflict.Inc()
 		return &Conflict{Msg: msg, CurrentVersion: cur}
 	}
 	return nil
