@@ -17,6 +17,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 
 	"icares/internal/record"
@@ -133,6 +134,9 @@ func statsOne(path string) (err error) {
 	if lr.Skipped() > 0 {
 		fmt.Printf(" (%d corrupt frames skipped)", lr.Skipped())
 	}
+	if lr.Truncated() {
+		fmt.Printf(" (truncated mid-frame; tail lost)")
+	}
 	fmt.Println()
 	if n > 0 {
 		fmt.Printf("  span: day %d %s .. day %d %s\n",
@@ -233,9 +237,16 @@ func verifyOne(path string) (err error) {
 		prev = rec.Local
 		n++
 	}
-	status := "OK"
+	var problems []string
 	if lr.Skipped() > 0 {
-		status = fmt.Sprintf("%d corrupt frames", lr.Skipped())
+		problems = append(problems, fmt.Sprintf("%d corrupt frames", lr.Skipped()))
+	}
+	if lr.Truncated() {
+		problems = append(problems, "truncated mid-frame")
+	}
+	status := "OK"
+	if len(problems) > 0 {
+		status = strings.Join(problems, ", ")
 	}
 	fmt.Printf("%s: %d records, %d out-of-order timestamps, %s\n",
 		filepath.Base(path), n, outOfOrder, status)

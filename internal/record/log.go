@@ -76,9 +76,10 @@ func (lw *LogWriter) Flush() error { return lw.w.Flush() }
 
 // LogReader streams records back out of a log.
 type LogReader struct {
-	r       *bufio.Reader
-	badgeID uint16
-	skipped int
+	r         *bufio.Reader
+	badgeID   uint16
+	skipped   int
+	truncated bool
 }
 
 // NewLogReader validates the header and returns a reader.
@@ -106,14 +107,23 @@ func (lr *LogReader) BadgeID() uint16 { return lr.badgeID }
 // Skipped returns how many corrupt frames Next has skipped so far.
 func (lr *LogReader) Skipped() int { return lr.skipped }
 
+// Truncated reports whether the log ended mid-frame rather than at a clean
+// frame boundary — the SD-card-pulled-mid-write case. The records returned
+// before the truncation point are intact and usable.
+func (lr *LogReader) Truncated() bool { return lr.truncated }
+
 // Next returns the next record. Corrupt frames are skipped (counted via
 // Skipped) as a real offline pipeline must tolerate SD-card bit rot; io.EOF
-// signals a clean end of log.
+// signals the end of the log, with Truncated distinguishing a mid-frame
+// tail from a clean boundary.
 func (lr *LogReader) Next() (Record, error) {
 	for {
 		plen, err := binary.ReadUvarint(lr.r)
 		if err != nil {
 			if errors.Is(err, io.ErrUnexpectedEOF) {
+				// The log ended inside a length prefix: a frame was mid-write
+				// when the log stopped.
+				lr.truncated = true
 				return Record{}, io.EOF
 			}
 			return Record{}, err
@@ -121,11 +131,14 @@ func (lr *LogReader) Next() (Record, error) {
 		if plen > MaxFrameSize {
 			// Cannot resync after a corrupted length; treat as end.
 			lr.skipped++
+			lr.truncated = true
 			return Record{}, io.EOF
 		}
 		body := make([]byte, int(plen)+4)
 		if _, err := io.ReadFull(lr.r, body); err != nil {
-			lr.skipped++
+			// The tail frame is shorter than its declared length: the log
+			// stopped mid-write. Everything read so far stands.
+			lr.truncated = true
 			return Record{}, io.EOF
 		}
 		payload := body[:plen]

@@ -83,10 +83,14 @@ func (s RangeSet) Total() time.Duration {
 	return t
 }
 
-// Contains reports whether t lies in any range of the set.
+// Contains reports whether t lies in any range of the set. It agrees with
+// Normalize/Clip/Total on un-normalized input: inverted or empty ranges
+// (To <= From), which Normalize drops, contain nothing, and duplicates and
+// overlaps change nothing. The check is allocation-free so per-sample
+// callers (speech/activity worn filters) stay cheap.
 func (s RangeSet) Contains(t time.Duration) bool {
 	for _, r := range s {
-		if r.Contains(t) {
+		if r.To > r.From && r.Contains(t) {
 			return true
 		}
 	}

@@ -114,6 +114,59 @@ func TestWornRanges(t *testing.T) {
 	}
 }
 
+func TestRangeSetContainsUnnormalized(t *testing.T) {
+	// Inverted ranges are dropped by Normalize; Contains must not let them
+	// claim (or deny) membership either.
+	inv := RangeSet{tr(20, 10), tr(30, 40)}
+	if inv.Contains(15 * time.Second) {
+		t.Error("inverted range claimed membership")
+	}
+	if !inv.Contains(35 * time.Second) {
+		t.Error("valid range after inverted one not consulted")
+	}
+	// Empty (zero-width) ranges contain nothing, like in Normalize.
+	if (RangeSet{tr(5, 5)}).Contains(5 * time.Second) {
+		t.Error("zero-width range claimed membership")
+	}
+	// Duplicates and overlaps change nothing.
+	dup := RangeSet{tr(0, 10), tr(0, 10), tr(5, 15)}
+	for _, at := range []int{0, 5, 9, 12} {
+		if !dup.Contains(time.Duration(at) * time.Second) {
+			t.Errorf("%ds not contained in duplicated set", at)
+		}
+	}
+	if dup.Contains(15 * time.Second) {
+		t.Error("half-open upper bound violated on duplicated set")
+	}
+}
+
+// Property: Contains on any raw set agrees with Contains on its normalized
+// form — the Normalize/Clip/Total semantics the rest of the pipeline uses.
+func TestQuickContainsAgreesWithNormalize(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := rng.Intn(12)
+		s := make(RangeSet, 0, n)
+		for i := 0; i < n; i++ {
+			from := rng.Intn(200)
+			// Mix valid, empty, and inverted ranges.
+			to := from + rng.Intn(80) - 30
+			s = append(s, tr(from, to))
+		}
+		norm := s.Normalize()
+		for at := 0; at < 220; at++ {
+			d := time.Duration(at) * time.Second
+			if s.Contains(d) != norm.Contains(d) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
 // Property: Normalize is idempotent, total is preserved under permutation,
 // and Intersect total never exceeds either operand.
 func TestQuickRangeSetInvariants(t *testing.T) {

@@ -199,6 +199,54 @@ func AppendFrame(dst []byte, r Record) ([]byte, error) {
 	return append(dst, tail[:]...), nil
 }
 
+// uvarintLen returns the number of bytes PutUvarint emits for v.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// bodySize returns the encoded size of the kind-specific body of r.
+func bodySize(r Record) (int, error) {
+	switch r.Kind {
+	case KindAccel:
+		return 6, nil // 3 × int16
+	case KindMic:
+		return 13, nil // flag + 3 × float32
+	case KindBeacon, KindNeighbor:
+		return 6, nil // uint16 + float32
+	case KindIR:
+		return 2, nil // uint16
+	case KindEnv:
+		return 12, nil // 3 × float32
+	case KindWear:
+		return 1, nil // flag
+	case KindSync:
+		return uvarintLen(uint64(r.RefTime)), nil
+	case KindBattery:
+		return 4, nil // float32
+	default:
+		return 0, fmt.Errorf("%w: %d", ErrUnknownKind, r.Kind)
+	}
+}
+
+// EncodedSize returns the exact number of bytes AppendFrame emits for r —
+// length prefix, payload (kind byte, uvarint timestamp, body) and CRC
+// trailer — without encoding anything. It fails exactly when AppendFrame
+// fails: on an unknown kind. The store's byte accounting uses it so an
+// append never pays a throwaway encode just to count bytes.
+func EncodedSize(r Record) (int, error) {
+	body, err := bodySize(r)
+	if err != nil {
+		return 0, err
+	}
+	plen := 1 + uvarintLen(uint64(r.Local)) + body
+	return uvarintLen(uint64(plen)) + plen + 4, nil
+}
+
 // DecodeFrame decodes one frame from the front of buf, returning the record
 // and the number of bytes consumed. It returns ErrCorrupt for truncated or
 // checksum-failing frames and ErrUnknownKind for unrecognized kinds (with

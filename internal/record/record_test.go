@@ -240,6 +240,62 @@ func TestLogReaderTruncatedTail(t *testing.T) {
 	}
 }
 
+func TestEncodedSizeMatchesAppendFrame(t *testing.T) {
+	// EncodedSize is the store's O(1) replacement for the encode-to-count
+	// pattern; pin it against the real encoder for every record kind.
+	for _, r := range sampleRecords() {
+		t.Run(r.Kind.String(), func(t *testing.T) {
+			frame, err := AppendFrame(nil, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := EncodedSize(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != len(frame) {
+				t.Errorf("EncodedSize = %d, AppendFrame emitted %d bytes", got, len(frame))
+			}
+		})
+	}
+}
+
+func TestEncodedSizeUnknownKind(t *testing.T) {
+	// It must fail exactly when AppendFrame fails, so the store can account
+	// (rather than silently undercount) unencodable records.
+	if _, err := EncodedSize(Record{Kind: Kind(200)}); !errors.Is(err, ErrUnknownKind) {
+		t.Errorf("unknown kind: %v", err)
+	}
+}
+
+// Property: EncodedSize agrees with AppendFrame for random records of every
+// kind, including multi-byte uvarint timestamps and RefTime values.
+func TestQuickEncodedSize(t *testing.T) {
+	kinds := []Kind{
+		KindAccel, KindMic, KindBeacon, KindNeighbor, KindIR,
+		KindEnv, KindWear, KindSync, KindBattery,
+	}
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		r := Record{
+			Local: time.Duration(rng.Uint64() % uint64(30*24*time.Hour)),
+			Kind:  kinds[rng.Intn(len(kinds))],
+		}
+		if r.Kind == KindSync {
+			r.RefTime = time.Duration(rng.Uint64() % uint64(30*24*time.Hour))
+		}
+		frame, err := AppendFrame(nil, r)
+		if err != nil {
+			return false
+		}
+		size, err := EncodedSize(r)
+		return err == nil && size == len(frame)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestKindString(t *testing.T) {
 	if KindMic.String() != "mic" || KindSync.String() != "sync" {
 		t.Error("kind names wrong")

@@ -1,6 +1,8 @@
 package store
 
 import (
+	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -8,18 +10,122 @@ import (
 	"icares/internal/stats"
 )
 
-func benchSeries(n int) *Series {
-	rng := stats.NewRNG(1)
-	s := &Series{}
-	for i := 0; i < n; i++ {
-		s.Append(record.Record{
-			Local:  time.Duration(i) * time.Second,
-			Kind:   record.KindBeacon,
-			PeerID: uint16(rng.Intn(27) + 1),
-			RSSI:   float32(rng.Range(-90, -40)),
-		})
+// The 1M-record benchmarks below measure the sorted-run layout against
+// seedSeries, a replica of the pre-shard store it replaced — one slice, a
+// dirty flag, sort.SliceStable on every dirty read, linear scans for kind
+// queries, and a throwaway encode per append to count bytes. BENCH_pr5.json
+// records both sides; the Series/seed pairs are the perf trajectory every
+// later PR is measured against.
+
+const (
+	benchN   = 1_000_000
+	benchOOO = 1000 // out-of-order stragglers for the dirty-read case
+)
+
+type seedSeries struct {
+	recs  []record.Record
+	dirty bool
+	bytes int64
+}
+
+func (s *seedSeries) append(r record.Record) {
+	if n := len(s.recs); n > 0 && r.Local < s.recs[n-1].Local {
+		s.dirty = true
 	}
-	return s
+	s.recs = append(s.recs, r)
+	if frame, err := record.AppendFrame(nil, r); err == nil {
+		s.bytes += int64(len(frame))
+	}
+}
+
+func (s *seedSeries) sorted() []record.Record {
+	if s.dirty {
+		sort.SliceStable(s.recs, func(i, j int) bool { return s.recs[i].Local < s.recs[j].Local })
+		s.dirty = false
+	}
+	return s.recs
+}
+
+func (s *seedSeries) kind(k record.Kind) []record.Record {
+	recs := s.sorted()
+	out := make([]record.Record, 0, len(recs)/4)
+	for _, r := range recs {
+		if r.Kind == k {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func (s *seedSeries) rangeKind(from, to time.Duration, k record.Kind) []record.Record {
+	recs := s.sorted()
+	lo := sort.Search(len(recs), func(i int) bool { return recs[i].Local >= from })
+	hi := sort.Search(len(recs), func(i int) bool { return recs[i].Local >= to })
+	out := make([]record.Record, 0, (hi-lo)/4)
+	for _, r := range recs[lo:hi] {
+		if r.Kind == k {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+var (
+	benchBaseOnce sync.Once
+	benchBase     []record.Record
+)
+
+// benchRecords returns a shared, in-order, mixed-kind 1M-record sequence.
+func benchRecords() []record.Record {
+	benchBaseOnce.Do(func() {
+		rng := stats.NewRNG(1)
+		kinds := []record.Kind{
+			record.KindAccel, record.KindBeacon, record.KindMic,
+			record.KindNeighbor, record.KindEnv,
+		}
+		benchBase = make([]record.Record, benchN)
+		for i := range benchBase {
+			benchBase[i] = record.Record{
+				Local:  time.Duration(i) * 100 * time.Millisecond,
+				Kind:   kinds[rng.Intn(len(kinds))],
+				PeerID: uint16(rng.Intn(27) + 1),
+				RSSI:   float32(rng.Range(-90, -40)),
+			}
+		}
+	})
+	return benchBase
+}
+
+// oooTail returns the out-of-order stragglers appended on top of the base.
+func oooTail() []record.Record {
+	rng := stats.NewRNG(2)
+	out := make([]record.Record, benchOOO)
+	for i := range out {
+		out[i] = record.Record{
+			Local:  time.Duration(rng.Intn(benchN)) * 100 * time.Millisecond,
+			Kind:   record.KindIR,
+			PeerID: uint16(rng.Intn(27) + 1),
+		}
+	}
+	return out
+}
+
+var (
+	benchSeriesOnce sync.Once
+	benchSeries1M   *Series
+)
+
+// sharedSeries returns a fully ingested, merged 1M-record Series reused by
+// the read-only query benchmarks.
+func sharedSeries() *Series {
+	benchSeriesOnce.Do(func() {
+		s := &Series{}
+		for _, r := range benchRecords() {
+			s.Append(r)
+		}
+		benchSeries1M = s
+	})
+	return benchSeries1M
 }
 
 func BenchmarkSeriesAppend(b *testing.B) {
@@ -33,25 +139,160 @@ func BenchmarkSeriesAppend(b *testing.B) {
 	}
 }
 
-func BenchmarkSeriesRangeQuery(b *testing.B) {
-	s := benchSeries(100_000)
-	s.sorted()
+func BenchmarkSeedAppend(b *testing.B) {
+	s := &seedSeries{}
+	rec := record.Record{Kind: record.KindAccel, AZ: 1000}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		from := time.Duration(i%90_000) * time.Second
-		got := s.Range(from, from+3600*time.Second)
-		if len(got) == 0 {
+		rec.Local = time.Duration(i) * time.Second
+		s.append(rec)
+	}
+}
+
+func BenchmarkSeriesDirtyRead1M(b *testing.B) {
+	base, tail := benchRecords(), oooTail()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := &Series{}
+		for _, r := range base {
+			s.Append(r)
+		}
+		for _, r := range tail {
+			s.Append(r)
+		}
+		b.StartTimer()
+		if got := len(s.All()); got != benchN+benchOOO {
+			b.Fatalf("len = %d", got)
+		}
+	}
+}
+
+func BenchmarkSeedDirtyRead1M(b *testing.B) {
+	base, tail := benchRecords(), oooTail()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		recs := make([]record.Record, 0, benchN+benchOOO)
+		recs = append(recs, base...)
+		recs = append(recs, tail...)
+		s := &seedSeries{recs: recs, dirty: true}
+		b.StartTimer()
+		if got := len(s.sorted()); got != benchN+benchOOO {
+			b.Fatalf("len = %d", got)
+		}
+	}
+}
+
+func BenchmarkSeriesKindQuery1M(b *testing.B) {
+	s := sharedSeries()
+	s.Kind(record.KindMic) // prime the index once; steady state is what analyses see
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(s.Kind(record.KindMic)) == 0 {
+			b.Fatal("empty kind view")
+		}
+	}
+}
+
+func BenchmarkSeedKindQuery1M(b *testing.B) {
+	s := &seedSeries{recs: benchRecords()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(s.kind(record.KindMic)) == 0 {
+			b.Fatal("empty kind filter")
+		}
+	}
+}
+
+func BenchmarkSeriesRangeKind1M(b *testing.B) {
+	s := sharedSeries()
+	s.Kind(record.KindBeacon)
+	from := time.Duration(benchN/2) * 100 * time.Millisecond
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(s.RangeKind(from, from+time.Hour, record.KindBeacon)) == 0 {
 			b.Fatal("empty range")
 		}
 	}
 }
 
-func BenchmarkSeriesKindFilter(b *testing.B) {
-	s := benchSeries(100_000)
+func BenchmarkSeedRangeKind1M(b *testing.B) {
+	s := &seedSeries{recs: benchRecords()}
+	from := time.Duration(benchN/2) * 100 * time.Millisecond
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = s.RangeKind(0, 10_000*time.Second, record.KindBeacon)
+		if len(s.rangeKind(from, from+time.Hour, record.KindBeacon)) == 0 {
+			b.Fatal("empty range")
+		}
+	}
+}
+
+func BenchmarkSeriesRangeQuery1M(b *testing.B) {
+	s := sharedSeries()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := time.Duration(i%(benchN-36000)) * 100 * time.Millisecond
+		if len(s.Range(from, from+time.Hour)) == 0 {
+			b.Fatal("empty range")
+		}
+	}
+}
+
+// benchDataset builds the paper-shaped dataset: ~30 badges of mixed-kind
+// records.
+func benchDataset(badges, per int) *Dataset {
+	d := NewDataset()
+	for id := BadgeID(1); id <= BadgeID(badges); id++ {
+		rng := stats.NewRNG(uint64(id))
+		s := d.Series(id)
+		for i := 0; i < per; i++ {
+			s.Append(record.Record{
+				Local:  time.Duration(i) * time.Second,
+				Kind:   record.KindBeacon,
+				PeerID: uint16(rng.Intn(27) + 1),
+				RSSI:   float32(rng.Range(-90, -40)),
+			})
+		}
+	}
+	return d
+}
+
+func BenchmarkDatasetParallelSave(b *testing.B) {
+	d := benchDataset(30, 20_000)
+	dir := b.TempDir()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Save(dir); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDatasetParallelLoad(b *testing.B) {
+	d := benchDataset(30, 20_000)
+	dir := b.TempDir()
+	if err := d.Save(dir); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := Load(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got.TotalRecords() != 30*20_000 {
+			b.Fatal("short load")
+		}
 	}
 }

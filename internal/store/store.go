@@ -3,156 +3,26 @@
 // abstraction grouping all badges of a mission. It corresponds to the
 // collected SD-card contents of the paper (150 GiB across 13 days) after
 // ingestion.
+//
+// The layout is built for that volume: each Series holds sorted runs that
+// are merged incrementally (never a full re-sort), Kind/RangeKind queries
+// answer from lazily built per-kind indexes, byte accounting is O(1) per
+// append via record.EncodedSize, and Save/Load fan out across badge files
+// with a bounded worker pool, salvaging partially written logs (see
+// LoadWithReport) instead of failing the whole dataset.
 package store
 
 import (
 	"errors"
 	"fmt"
-	"io"
-	"os"
-	"path/filepath"
 	"sort"
 	"sync"
-	"time"
 
-	"icares/internal/record"
 	"icares/internal/timesync"
 )
 
 // BadgeID identifies a badge (and, via assignment, usually an astronaut).
 type BadgeID uint16
-
-// Series is the time-ordered record log of one badge. Appends may arrive
-// slightly out of order (opportunistic radio exchanges); the series sorts
-// lazily before reads.
-//
-// Concurrency: any number of readers (All, Range, Kind, First, Last, Len)
-// may run concurrently — the lazy sort is internally synchronized. Writers
-// (Append, Rectify) are themselves synchronized against each other and
-// against the sort, but they mutate the backing array in place, so callers
-// must not write while another goroutine still uses a previously returned
-// view. The analysis pipeline guarantees this by rectifying exactly once
-// before any concurrent reads begin.
-type Series struct {
-	mu    sync.RWMutex
-	recs  []record.Record
-	dirty bool
-	bytes int64
-}
-
-// Append adds a record to the series.
-func (s *Series) Append(r record.Record) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if n := len(s.recs); n > 0 && r.Local < s.recs[n-1].Local {
-		s.dirty = true
-	}
-	s.recs = append(s.recs, r)
-	if frame, err := record.AppendFrame(nil, r); err == nil {
-		s.bytes += int64(len(frame))
-	}
-}
-
-// Len returns the number of records.
-func (s *Series) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.recs)
-}
-
-// EncodedBytes returns the total encoded size of the series.
-func (s *Series) EncodedBytes() int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.bytes
-}
-
-// sorted returns the time-ordered record slice, sorting first if any
-// out-of-order append left the series dirty.
-func (s *Series) sorted() []record.Record {
-	s.mu.RLock()
-	if !s.dirty {
-		recs := s.recs
-		s.mu.RUnlock()
-		return recs
-	}
-	s.mu.RUnlock()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.dirty {
-		sort.SliceStable(s.recs, func(i, j int) bool {
-			return s.recs[i].Local < s.recs[j].Local
-		})
-		s.dirty = false
-	}
-	return s.recs
-}
-
-// All returns the full, time-ordered record slice. The returned slice is a
-// read-only view; callers must not modify it.
-func (s *Series) All() []record.Record {
-	return s.sorted()
-}
-
-// Range returns the records with timestamps in [from, to) as a read-only
-// view.
-func (s *Series) Range(from, to time.Duration) []record.Record {
-	recs := s.sorted()
-	lo := sort.Search(len(recs), func(i int) bool { return recs[i].Local >= from })
-	hi := sort.Search(len(recs), func(i int) bool { return recs[i].Local >= to })
-	return recs[lo:hi]
-}
-
-// Kind returns all records of one kind, in time order (allocates).
-func (s *Series) Kind(k record.Kind) []record.Record {
-	return filterKind(s.All(), k)
-}
-
-// RangeKind returns records of one kind within [from, to) (allocates).
-func (s *Series) RangeKind(from, to time.Duration, k record.Kind) []record.Record {
-	return filterKind(s.Range(from, to), k)
-}
-
-func filterKind(recs []record.Record, k record.Kind) []record.Record {
-	out := make([]record.Record, 0, len(recs)/4)
-	for _, r := range recs {
-		if r.Kind == k {
-			out = append(out, r)
-		}
-	}
-	return out
-}
-
-// First returns the earliest record, if any.
-func (s *Series) First() (record.Record, bool) {
-	all := s.All()
-	if len(all) == 0 {
-		return record.Record{}, false
-	}
-	return all[0], true
-}
-
-// Last returns the latest record, if any.
-func (s *Series) Last() (record.Record, bool) {
-	all := s.All()
-	if len(all) == 0 {
-		return record.Record{}, false
-	}
-	return all[len(all)-1], true
-}
-
-// Rectify applies fn to every timestamp, e.g. converting local badge time
-// to mission time after timesync estimation, and re-sorts. Like Append it
-// must not run concurrently with readers holding views; use
-// Dataset.RectifyOnce to serialize dataset-wide rectification.
-func (s *Series) Rectify(fn func(time.Duration) time.Duration) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for i := range s.recs {
-		s.recs[i].Local = fn(s.recs[i].Local)
-	}
-	s.dirty = true
-}
 
 // Dataset groups the series of all badges in one mission. Safe for
 // concurrent use with the same reader/writer discipline as Series.
@@ -266,93 +136,4 @@ var ErrNoData = errors.New("store: no data")
 // logFileName returns the on-disk log name of a badge.
 func logFileName(id BadgeID) string {
 	return fmt.Sprintf("badge-%03d.icr", id)
-}
-
-// Save writes one log file per badge into dir, creating it if needed.
-func (d *Dataset) Save(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("save dataset: %w", err)
-	}
-	d.mu.RLock()
-	series := make(map[BadgeID]*Series, len(d.series))
-	for id, s := range d.series {
-		series[id] = s
-	}
-	d.mu.RUnlock()
-	for id, s := range series {
-		if err := d.saveOne(dir, id, s); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func (d *Dataset) saveOne(dir string, id BadgeID, s *Series) (err error) {
-	f, err := os.Create(filepath.Join(dir, logFileName(id)))
-	if err != nil {
-		return fmt.Errorf("save badge %d: %w", id, err)
-	}
-	defer func() {
-		if cerr := f.Close(); cerr != nil && err == nil {
-			err = fmt.Errorf("close badge %d: %w", id, cerr)
-		}
-	}()
-	lw, err := record.NewLogWriter(f, uint16(id))
-	if err != nil {
-		return fmt.Errorf("badge %d header: %w", id, err)
-	}
-	for _, r := range s.All() {
-		if err := lw.Append(r); err != nil {
-			return fmt.Errorf("badge %d append: %w", id, err)
-		}
-	}
-	return lw.Flush()
-}
-
-// Load reads every badge log in dir into a new dataset.
-func Load(dir string) (*Dataset, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, fmt.Errorf("load dataset: %w", err)
-	}
-	d := NewDataset()
-	for _, e := range entries {
-		if e.IsDir() || filepath.Ext(e.Name()) != ".icr" {
-			continue
-		}
-		if err := loadOne(d, filepath.Join(dir, e.Name())); err != nil {
-			return nil, err
-		}
-	}
-	if len(d.series) == 0 {
-		return nil, ErrNoData
-	}
-	return d, nil
-}
-
-func loadOne(d *Dataset, path string) (err error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return fmt.Errorf("open %s: %w", path, err)
-	}
-	defer func() {
-		if cerr := f.Close(); cerr != nil && err == nil {
-			err = cerr
-		}
-	}()
-	lr, err := record.NewLogReader(f)
-	if err != nil {
-		return fmt.Errorf("read %s: %w", path, err)
-	}
-	s := d.Series(BadgeID(lr.BadgeID()))
-	for {
-		rec, err := lr.Next()
-		if errors.Is(err, io.EOF) {
-			return nil
-		}
-		if err != nil {
-			return fmt.Errorf("read %s: %w", path, err)
-		}
-		s.Append(rec)
-	}
 }
