@@ -124,7 +124,10 @@ func (m *Mission) VoiceProfiles() map[string]float64 {
 // NominalAssignment views over one Simulate run is supported — the second
 // view adopts the corrections the first one applied instead of
 // re-rectifying already-rectified timestamps.
-func (m *Mission) Pipeline(view AssignmentView) (*sociometry.Pipeline, error) {
+//
+// Options (e.g. sociometry.WithoutRectification for the timesync ablation)
+// are passed through to the pipeline.
+func (m *Mission) Pipeline(view AssignmentView, opts ...sociometry.Option) (*sociometry.Pipeline, error) {
 	badgeFor := m.res.Assignment.TrueBadgeFor
 	if view == NominalAssignment {
 		badgeFor = m.res.Assignment.NominalBadgeFor
@@ -137,7 +140,7 @@ func (m *Mission) Pipeline(view AssignmentView) (*sociometry.Pipeline, error) {
 		VoiceProfiles: m.VoiceProfiles(),
 		FirstDay:      m.res.Config.FirstDataDay,
 		LastDay:       m.res.Config.Scenario.Days,
-	})
+	}, opts...)
 }
 
 // SupportSystem assembles the real-time mission support daemon with the
@@ -167,6 +170,31 @@ func (m *Mission) SupportSystem() (*support.Daemon, *support.Replayer) {
 		return w
 	})
 	return d, replayer
+}
+
+// LiveAnalytics attaches incremental sociometric analytics to a support
+// daemon: every record the daemon ingests (post privacy scrub) folds into a
+// live pipeline over the mission's crew and the chosen assignment view. The
+// analytics own their dataset — the mission's offline store stays untouched
+// by the online path.
+func (m *Mission) LiveAnalytics(d *support.Daemon, view AssignmentView, opts ...sociometry.Option) (*support.Analytics, error) {
+	badgeFor := m.res.Assignment.TrueBadgeFor
+	if view == NominalAssignment {
+		badgeFor = m.res.Assignment.NominalBadgeFor
+	}
+	a, err := support.NewAnalytics(sociometry.Source{
+		Habitat:       m.res.Habitat,
+		Names:         mission.Names(),
+		BadgeFor:      badgeFor,
+		VoiceProfiles: m.VoiceProfiles(),
+		FirstDay:      m.res.Config.FirstDataDay,
+		LastDay:       m.res.Config.Scenario.Days,
+	}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	d.AttachAnalytics(a)
+	return a, nil
 }
 
 // MissionControlLink returns a fresh Earth<->habitat link with the

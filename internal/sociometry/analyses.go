@@ -115,6 +115,8 @@ func truncate(s string, n int) string {
 // pipeline's dwell filter. The per-astronaut passage counts are computed in
 // parallel and folded in crew order.
 func (p *Pipeline) Transitions(rooms []habitat.RoomID) TransitionMatrix {
+	p.beginAnalysis()
+	defer p.endAnalysis()
 	if rooms == nil {
 		rooms = Fig2Rooms()
 	}
@@ -250,6 +252,8 @@ type StayStats struct {
 // of at least minStay (use ~10 min to exclude hydration dashes and
 // restroom visits, matching the text's focus on work stays).
 func (p *Pipeline) Stays(minStay time.Duration) []StayStats {
+	p.beginAnalysis()
+	defer p.endAnalysis()
 	// Derive the per-astronaut intervals in parallel; the accumulation
 	// below stays sequential in crew order for deterministic output.
 	p.forEachName(func(name string) { p.Intervals(name) })

@@ -1,0 +1,389 @@
+package sociometry
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"icares/internal/habitat"
+	"icares/internal/mission"
+	"icares/internal/record"
+	"icares/internal/simtime"
+	"icares/internal/store"
+)
+
+// rectifiedFixtureRecords returns the fixture mission's records after clock
+// rectification, per badge in badge order. Parity tests replay these into
+// fresh datasets under WithoutRectification, so fold-order experiments are
+// isolated from correction estimation (which is deliberately frozen at the
+// first fit and therefore depends on which records have arrived).
+func rectifiedFixtureRecords(t *testing.T) map[store.BadgeID][]record.Record {
+	t.Helper()
+	p := fixturePipeline(t)
+	if _, err := p.RectifyClocks(); err != nil {
+		t.Fatal(err)
+	}
+	ds := missionFixture(t).Dataset
+	out := make(map[store.BadgeID][]record.Record)
+	for _, id := range ds.Badges() {
+		out[id] = ds.Series(id).All()
+	}
+	return out
+}
+
+// fixtureSource builds a pipeline source over the given dataset with the
+// fixture mission's assignment and crew.
+func fixtureSource(t *testing.T, ds *store.Dataset) Source {
+	t.Helper()
+	res := missionFixture(t)
+	return Source{
+		Habitat: res.Habitat,
+		Dataset: ds,
+		Names:   mission.Names(),
+		BadgeFor: func(name string, day int) store.BadgeID {
+			return res.Assignment.TrueBadgeFor(name, day)
+		},
+		VoiceProfiles: voiceProfiles(res),
+		FirstDay:      2,
+		LastDay:       res.Config.Scenario.Days,
+	}
+}
+
+func loadAll(ds *store.Dataset, recs map[store.BadgeID][]record.Record) {
+	ids := make([]store.BadgeID, 0, len(recs))
+	for id := range recs {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	for _, id := range ids {
+		s := ds.Series(id)
+		for _, r := range recs[id] {
+			s.Append(r)
+		}
+	}
+}
+
+// TestFoldParityRandomChunks is the central incremental-operator property:
+// folding the same records into a following pipeline in arbitrary chunk
+// sizes and arbitrary cross-badge interleavings — with analyses issued
+// mid-stream — must end in a report byte-identical to the batch pipeline
+// that saw everything up front. Per-badge record order is preserved, as the
+// gateway's per-badge upload streams preserve it.
+func TestFoldParityRandomChunks(t *testing.T) {
+	recs := rectifiedFixtureRecords(t)
+
+	batchDS := store.NewDataset()
+	loadAll(batchDS, recs)
+	batchP, err := NewPipeline(fixtureSource(t, batchDS), WithoutRectification())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := batchP.Report()
+
+	property := func(seed uint64) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		ds := store.NewDataset()
+		p, err := NewPipeline(fixtureSource(t, ds), WithoutRectification())
+		if err != nil {
+			t.Fatal(err)
+		}
+		stop := p.Follow()
+		defer stop()
+
+		// Random contiguous per-badge chunks, delivered in a random
+		// cross-badge interleaving (per-badge order preserved).
+		type chunk struct {
+			id   store.BadgeID
+			recs []record.Record
+		}
+		queues := make(map[store.BadgeID][][]record.Record)
+		var ids []store.BadgeID
+		for id, rs := range recs {
+			ids = append(ids, id)
+			for len(rs) > 0 {
+				n := 1 + rng.Intn(len(rs))
+				queues[id] = append(queues[id], rs[:n])
+				rs = rs[n:]
+			}
+		}
+		var schedule []chunk
+		for len(ids) > 0 {
+			i := rng.Intn(len(ids))
+			id := ids[i]
+			schedule = append(schedule, chunk{id, queues[id][0]})
+			queues[id] = queues[id][1:]
+			if len(queues[id]) == 0 {
+				ids[i] = ids[len(ids)-1]
+				ids = ids[:len(ids)-1]
+			}
+		}
+		for ci, c := range schedule {
+			s := ds.Series(c.id)
+			for _, r := range c.recs {
+				s.Append(r)
+			}
+			// A couple of mid-stream analyses: they must fold the pending
+			// windows in without corrupting later results.
+			if ci == len(schedule)/3 || ci == 2*len(schedule)/3 {
+				p.Transitions(nil)
+			}
+		}
+		return p.Report() == want
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFoldWhileReadersQuery exercises the live path under the race
+// detector: a writer folds the final day's records in while readers query,
+// and once appends quiesce the next analyses are exact.
+func TestFoldWhileReadersQuery(t *testing.T) {
+	recs := rectifiedFixtureRecords(t)
+	res := missionFixture(t)
+	cut := simtime.StartOfDay(res.Config.Scenario.Days)
+
+	batchDS := store.NewDataset()
+	loadAll(batchDS, recs)
+	batchP, err := NewPipeline(fixtureSource(t, batchDS), WithoutRectification())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	liveDS := store.NewDataset()
+	head := make(map[store.BadgeID][]record.Record)
+	tail := make(map[store.BadgeID][]record.Record)
+	for id, rs := range recs {
+		for _, r := range rs {
+			if r.Local < cut {
+				head[id] = append(head[id], r)
+			} else {
+				tail[id] = append(tail[id], r)
+			}
+		}
+	}
+	loadAll(liveDS, head)
+	p, err := NewPipeline(fixtureSource(t, liveDS), WithoutRectification())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := p.Follow()
+	defer stop()
+	p.Warm()
+
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				p.Transitions(nil)
+				p.WalkingFraction("A")
+				p.Pairwise()
+			}
+		}()
+	}
+	loadAll(liveDS, tail)
+	close(done)
+	wg.Wait()
+
+	if got, want := p.Transitions(nil), batchP.Transitions(nil); !reflect.DeepEqual(got, want) {
+		t.Errorf("transitions after fold = %v, want %v", got, want)
+	}
+	for _, name := range mission.Names() {
+		if got, want := p.WalkingFraction(name), batchP.WalkingFraction(name); got != want {
+			t.Errorf("%s walking fraction = %v, want %v", name, got, want)
+		}
+	}
+	if got, want := p.Pairwise(), batchP.Pairwise(); !reflect.DeepEqual(got, want) {
+		t.Errorf("pairwise after fold diverged from batch")
+	}
+}
+
+// TestWindowScopedInvalidation pins the fold's recomputation scope: one
+// appended record recomputes exactly its (astronaut, day) window and the
+// astronaut-level caches folding it — every other window stays warm.
+func TestWindowScopedInvalidation(t *testing.T) {
+	recs := rectifiedFixtureRecords(t)
+	res := missionFixture(t)
+	lastDay := res.Config.Scenario.Days
+
+	ds := store.NewDataset()
+	loadAll(ds, recs)
+	p, err := NewPipeline(fixtureSource(t, ds), WithoutRectification())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := p.Follow()
+	defer stop()
+	p.Warm()
+
+	winTrack0 := p.winTrack.computeCount()
+	track0 := p.trackCache.computeCount()
+	frames0 := p.framesCache.computeCount()
+
+	// One accel record for the badge A wore on the last day.
+	id := res.Assignment.TrueBadgeFor("A", lastDay)
+	if id == 0 {
+		t.Fatal("A unassigned on last day")
+	}
+	ds.Series(id).Append(record.Record{
+		Local: simtime.StartOfDay(lastDay) + 12*time.Hour,
+		Kind:  record.KindAccel,
+	})
+
+	for _, name := range mission.Names() {
+		p.Track(name)
+	}
+	if got := p.winTrack.computeCount() - winTrack0; got != 1 {
+		t.Errorf("window track recomputes = %d, want 1", got)
+	}
+	if got := p.trackCache.computeCount() - track0; got != 1 {
+		t.Errorf("astronaut track recomputes = %d, want 1", got)
+	}
+	// Frames depend on the same records: the stale window dropped them too,
+	// but nobody re-queried, so no recompute yet.
+	if got := p.framesCache.computeCount() - frames0; got != 0 {
+		t.Errorf("frames recomputed without being queried: %d", got)
+	}
+}
+
+// syntheticSyncSource builds a one-badge dataset whose sync records encode a
+// known clock error, plus the pipeline source over it.
+func syntheticSyncSource(offset time.Duration, skew float64) (Source, *store.Dataset) {
+	ds := store.NewDataset()
+	s := ds.Series(1)
+	toLocal := func(ref time.Duration) time.Duration {
+		return offset + time.Duration(float64(ref)*(1+skew))
+	}
+	day2 := simtime.StartOfDay(2)
+	for i := 0; i < 12; i++ {
+		ref := day2 + time.Duration(i)*time.Hour
+		s.Append(record.Record{Local: toLocal(ref), Kind: record.KindSync, RefTime: ref})
+	}
+	src := Source{
+		Habitat:  habitat.Standard(),
+		Dataset:  ds,
+		Names:    []string{"A"},
+		BadgeFor: func(string, int) store.BadgeID { return 1 },
+		FirstDay: 2,
+		LastDay:  2,
+	}
+	return src, ds
+}
+
+// TestRectifyOnIngest pins the live-rectification contract: after the first
+// analysis estimates corrections, records appended later are rewritten to
+// reference time individually on ingest, using the frozen correction.
+func TestRectifyOnIngest(t *testing.T) {
+	src, ds := syntheticSyncSource(1500*time.Millisecond, 25e-6)
+	p, err := NewPipeline(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cors, err := p.RectifyClocks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := cors[1]
+	if !ok || c.N == 0 {
+		t.Fatalf("no correction estimated: %+v", cors)
+	}
+
+	local := simtime.StartOfDay(2) + 13*time.Hour + 1234*time.Millisecond
+	ds.Series(1).Append(record.Record{Local: local, Kind: record.KindAccel})
+	all := ds.Series(1).All()
+	got := all[len(all)-1]
+	if got.Kind != record.KindAccel {
+		t.Fatalf("last record is %v, want the appended accel record", got.Kind)
+	}
+	if want := c.ToReference(local); got.Local != want {
+		t.Errorf("ingested record at %v, want rectified %v", got.Local, want)
+	}
+}
+
+// TestWithoutRectificationBothPaths covers both construction paths of the
+// rectification switch: the default pipeline rewrites the dataset, the
+// ablation pipeline leaves it untouched and reports no corrections.
+func TestWithoutRectificationBothPaths(t *testing.T) {
+	srcA, dsA := syntheticSyncSource(2*time.Second, 0)
+	before := dsA.Series(1).All()
+	ablated, err := NewPipeline(srcA, WithoutRectification())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cors, err := ablated.RectifyClocks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cors) != 0 {
+		t.Errorf("ablated pipeline produced corrections: %v", cors)
+	}
+	if dsA.Rectified() {
+		t.Error("ablated pipeline marked the dataset rectified")
+	}
+	if !reflect.DeepEqual(before, dsA.Series(1).All()) {
+		t.Error("ablated pipeline rewrote timestamps")
+	}
+
+	srcB, dsB := syntheticSyncSource(2*time.Second, 0)
+	normal, err := NewPipeline(srcB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cors, err = normal.RectifyClocks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cors) == 0 || !dsB.Rectified() {
+		t.Fatal("default pipeline did not rectify")
+	}
+	if reflect.DeepEqual(before, dsB.Series(1).All()) {
+		t.Error("default pipeline left the skewed timestamps in place")
+	}
+}
+
+// TestSettersPanicMidAnalysis pins the loud-failure contract of the
+// parameter setters: changing a parameter while an analysis is in flight
+// panics instead of silently racing the memo caches.
+func TestSettersPanicMidAnalysis(t *testing.T) {
+	src, _ := syntheticSyncSource(time.Second, 0)
+	p, err := NewPipeline(src, WithoutRectification())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic with an analysis in flight", name)
+			}
+		}()
+		fn()
+	}
+	p.inflight.Add(1)
+	expectPanic("SetMinDwell", func() { p.SetMinDwell(time.Second) })
+	expectPanic("SetLocWindow", func() { p.SetLocWindow(time.Second) })
+	expectPanic("SetSpeechConfig", func() { p.SetSpeechConfig(p.SpeechConfig) })
+	p.inflight.Add(-1)
+
+	// Quiescent setters work.
+	p.SetMinDwell(2 * time.Second)
+	if p.MinDwell != 2*time.Second {
+		t.Error("quiescent SetMinDwell had no effect")
+	}
+}

@@ -50,5 +50,15 @@ func (m *memo[K, V]) reset() {
 	m.mu.Unlock()
 }
 
+// drop invalidates one key. An in-flight computation for the key is
+// orphaned, not interrupted: its waiters still get the value it produces,
+// but the next get computes afresh — readers see stale-but-consistent
+// values, never a cache left stale.
+func (m *memo[K, V]) drop(key K) {
+	m.mu.Lock()
+	delete(m.entries, key)
+	m.mu.Unlock()
+}
+
 // computeCount returns how many times a compute function has run.
 func (m *memo[K, V]) computeCount() int64 { return m.computes.Load() }

@@ -60,6 +60,8 @@ func (p *Pipeline) forEachName(fn func(name string)) {
 // implicitly, so explicit use is only an optimization for callers that go
 // astronaut by astronaut.
 func (p *Pipeline) Warm() {
+	p.beginAnalysis()
+	defer p.endAnalysis()
 	if _, err := p.RectifyClocks(); err != nil {
 		return
 	}

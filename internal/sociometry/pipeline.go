@@ -10,16 +10,34 @@
 // astronaut attribution of badge records via the assignment metadata, then
 // localization, speech, activity, and proximity analyses.
 //
+// # Incremental operators
+//
+// Every derivation is folded from per-(astronaut, day) window partials —
+// the day's record slice, raw localization track, raw mic frames, raw
+// activity windows, and IR contacts — memoized independently of the
+// astronaut-level results assembled from them. The batch path is simply
+// "fold everything": deriving over a complete dataset computes each window
+// once and concatenates, byte-identical to deriving from the full record
+// stream (the localization and activity windows are aligned to absolute
+// time and divide the day, so no analysis window ever spans a day
+// boundary).
+//
+// The same structure serves live data: Follow subscribes the pipeline to
+// its dataset's append notifications, and each new record marks only its
+// (badge, day) window stale. The next analysis drops exactly the affected
+// windows and the astronaut-level caches folding them — everything else
+// stays warm. See fold.go for the invalidation machinery and DESIGN.md for
+// the model.
+//
 // # Concurrency
 //
-// A Pipeline is safe for concurrent use. Every per-astronaut derivation
-// (RecordsFor, WornRanges, Track, Intervals, Frames, Presence) is memoized
-// with compute-once-per-key semantics: concurrent callers of the same
-// derivation block on a single in-flight computation instead of repeating
-// it. Clock rectification runs exactly once per *dataset* (not per
-// pipeline), so any number of pipelines — e.g. the true and nominal
-// assignment views over one simulated mission — can share a dataset without
-// re-applying corrections to already-rectified timestamps.
+// A Pipeline is safe for concurrent use. Every derivation is memoized with
+// compute-once-per-key semantics: concurrent callers of the same derivation
+// block on a single in-flight computation instead of repeating it. Clock
+// rectification runs exactly once per *dataset* (not per pipeline), so any
+// number of pipelines — e.g. the true and nominal assignment views over one
+// simulated mission — can share a dataset without re-applying corrections
+// to already-rectified timestamps.
 //
 // Crew-level analyses (Report, TableI, Transitions, Pairwise, Wear,
 // Timeline, ...) fan their per-astronaut work out across a bounded worker
@@ -27,14 +45,19 @@
 // deterministic: results are computed into per-astronaut slots and folded
 // in crew order, so equal seeds give byte-identical reports at any width.
 //
-// Analysis parameters (SetMinDwell, SetLocWindow, SetSpeechConfig) may be
-// changed between analyses but must not race with in-flight ones:
-// configure, then analyze.
+// Queries racing a live fold (records arriving via Follow) are safe and see
+// stale-but-consistent memoized values; once appends quiesce, the next
+// analysis folds everything pending in and is exact. Analysis parameters
+// (SetMinDwell, SetLocWindow, SetSpeechConfig) must not race with in-flight
+// analyses; the setters detect in-flight work and panic instead of
+// corrupting memo state.
 package sociometry
 
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"icares/internal/activity"
@@ -88,6 +111,12 @@ func (s Source) validate() error {
 	return nil
 }
 
+// wkey addresses one fold window: one astronaut's data on one mission day.
+type wkey struct {
+	name string
+	day  int
+}
+
 // Pipeline is a configured analysis over one source. It is safe for
 // concurrent use; see the package comment for the memoization and
 // determinism guarantees.
@@ -103,14 +132,16 @@ type Pipeline struct {
 	// MinDwell is the Fig. 2 dwell filter (default 10 s; 0 disables).
 	// Use SetMinDwell to change it after analyses ran.
 	MinDwell time.Duration
-	// DisableRectification skips clock correction (ablation only): all
-	// cross-badge analyses then run on skewed local clocks. Set it before
-	// the first analysis, on a pipeline that owns its dataset — a dataset
-	// already rectified by another pipeline stays rectified.
-	DisableRectification bool
 	// Parallelism bounds the worker pool of crew-level analyses:
 	// 0 means runtime.NumCPU(), 1 forces sequential execution.
 	Parallelism int
+
+	// disableRect skips clock correction (ablation only): all cross-badge
+	// analyses then run on skewed local clocks. Latched at construction via
+	// WithoutRectification — a mutable flag consulted lazily was a footgun
+	// (setting it after the first derivation silently did nothing, and it
+	// raced with concurrent analyses).
+	disableRect bool
 
 	// rectified/corrections memoize this pipeline's view of the
 	// dataset-level rectification (the dataset itself guards against
@@ -118,8 +149,24 @@ type Pipeline struct {
 	rectMu      memoOnce
 	corrections map[store.BadgeID]timesync.Correction
 
-	// Memoized per-astronaut derivations. Dependency order matters for
-	// invalidation scoping (see invalidate):
+	// locator is built once per pipeline and shared by every window
+	// computation (it is immutable after construction).
+	locOnce sync.Once
+	locator *localization.Locator
+	locErr  error
+
+	// Window partials: the per-(astronaut, day) fold state each derivation
+	// is assembled from. Raw means before the worn filter — worn ranges are
+	// an astronaut-level, cross-day scan, so the filter applies at the
+	// astronaut level.
+	winRecords  memo[wkey, []record.Record]      // day slice of the worn badge's series
+	winTrack    memo[wkey, []localization.Fix]   // raw localization fixes (loc window)
+	winFrames   memo[wkey, []speech.Frame]       // raw mic frames (speech config)
+	winActivity memo[wkey, []activity.Sample]    // raw classified activity windows
+	winContacts memo[wkey, []proximity.Contact]  // attributed IR contacts
+
+	// Memoized per-astronaut derivations, folded from the window partials.
+	// Dependency order matters for invalidation scoping (see invalidate):
 	//
 	//	records ── worn ── frames            (speech config)
 	//	   └─ track (loc window) ── intervals (min dwell) ── presence
@@ -135,6 +182,14 @@ type Pipeline struct {
 	// BadgeFor, so IR attribution is O(1) per record instead of O(crew).
 	wearerCache memo[int, map[store.BadgeID]string]
 
+	// Streaming fold state (fold.go): append notifications mark (badge,
+	// day) windows stale; the next top-level analysis applies the marks.
+	foldMu    sync.Mutex
+	staleMu   sync.Mutex
+	stale     map[staleKey]struct{}
+	staleFlag atomic.Bool
+	inflight  atomic.Int64
+
 	// tel optionally receives per-stage compute timings (see SetTelemetry).
 	tel *telemetry.Registry
 }
@@ -148,18 +203,33 @@ func (o *memoOnce) do(fn func()) {
 	o.m.get(struct{}{}, func(struct{}) struct{} { fn(); return struct{}{} })
 }
 
+// Option configures a pipeline at construction.
+type Option func(*Pipeline)
+
+// WithoutRectification builds the pipeline for the timesync ablation: clock
+// corrections are skipped and all cross-badge analyses run on skewed local
+// clocks. Use it on a pipeline that owns its dataset — a dataset already
+// rectified by another pipeline stays rectified.
+func WithoutRectification() Option {
+	return func(p *Pipeline) { p.disableRect = true }
+}
+
 // NewPipeline validates the source and builds a pipeline with the paper's
 // default parameters.
-func NewPipeline(src Source) (*Pipeline, error) {
+func NewPipeline(src Source, opts ...Option) (*Pipeline, error) {
 	if err := src.validate(); err != nil {
 		return nil, err
 	}
-	return &Pipeline{
+	p := &Pipeline{
 		src:          src,
 		SpeechConfig: speech.DefaultConfig(),
 		LocWindow:    15 * time.Second,
 		MinDwell:     localization.DefaultMinDwell,
-	}, nil
+	}
+	for _, opt := range opts {
+		opt(p)
+	}
+	return p, nil
 }
 
 // Source returns the pipeline's source.
@@ -201,9 +271,16 @@ func (p *Pipeline) Horizon() time.Duration {
 // assignment view of one Simulate run) adopt those corrections without
 // re-applying them. Concurrent callers block until the one in-flight
 // rectification completes.
+//
+// Rectification also installs each badge's correction as the series'
+// append-time rectifier, so records arriving after this point (a live fold)
+// are rewritten to reference time individually on ingest — the incremental
+// form of the same rewrite, touching only new records. Corrections are
+// frozen once estimated: later sync exchanges do not re-fit (a re-fit would
+// perturb already-rewritten timestamps and break determinism).
 func (p *Pipeline) RectifyClocks() (map[store.BadgeID]timesync.Correction, error) {
 	p.rectMu.do(func() {
-		if p.DisableRectification && !p.src.Dataset.Rectified() {
+		if p.disableRect && !p.src.Dataset.Rectified() {
 			// Ablation: leave the dataset on skewed local clocks, and do
 			// not mark it rectified — the ablation is pipeline-local.
 			p.corrections = make(map[store.BadgeID]timesync.Correction)
@@ -213,7 +290,9 @@ func (p *Pipeline) RectifyClocks() (map[store.BadgeID]timesync.Correction, error
 			out := make(map[store.BadgeID]timesync.Correction)
 			for _, id := range p.src.Dataset.Badges() {
 				s := p.src.Dataset.Series(id)
-				c, err := timesync.EstimateFromRecords(s.All())
+				var est timesync.Estimator
+				est.ObserveRecords(s.All())
+				c, err := est.Fit()
 				if err != nil {
 					// Not enough exchanges: keep local time.
 					out[id] = timesync.Identity()
@@ -221,6 +300,7 @@ func (p *Pipeline) RectifyClocks() (map[store.BadgeID]timesync.Correction, error
 				}
 				out[id] = c
 				s.Rectify(c.ToReference)
+				s.SetRectifier(c.ToReference)
 			}
 			return out
 		})
@@ -233,11 +313,81 @@ func dayRange(day int) (time.Duration, time.Duration) {
 	return simtime.StartOfDay(day), simtime.StartOfDay(day + 1)
 }
 
+// sharedLocator returns the pipeline's locator, building it on first use.
+func (p *Pipeline) sharedLocator() (*localization.Locator, error) {
+	p.locOnce.Do(func() {
+		p.locator, p.locErr = localization.NewLocator(p.src.Habitat)
+	})
+	return p.locator, p.locErr
+}
+
+// windowsAligned reports whether per-day localization windows compose
+// exactly: windows are aligned to absolute time, so day-wise folds equal
+// the whole-stream derivation iff the window divides the day. The defaults
+// (15 s localization, 10 s activity) do; an exotic SetLocWindow value falls
+// back to whole-stream derivation instead of silently changing results.
+func (p *Pipeline) windowsAligned() bool {
+	return p.LocWindow > 0 && (24*time.Hour)%p.LocWindow == 0
+}
+
+// windowRecords returns one fold window's record slice: the day range of
+// the badge the astronaut wore that day (empty without an assignment).
+func (p *Pipeline) windowRecords(name string, day int) []record.Record {
+	id := p.src.BadgeFor(name, day)
+	if id == 0 {
+		return nil
+	}
+	return p.winRecords.get(wkey{name, day}, func(k wkey) []record.Record {
+		from, to := dayRange(k.day)
+		return p.src.Dataset.Series(id).Range(from, to)
+	})
+}
+
+// windowTrack returns one fold window's raw localization fixes.
+func (p *Pipeline) windowTrack(name string, day int) []localization.Fix {
+	if p.src.BadgeFor(name, day) == 0 {
+		return nil
+	}
+	return p.winTrack.get(wkey{name, day}, func(k wkey) []localization.Fix {
+		loc, err := p.sharedLocator()
+		if err != nil {
+			return nil
+		}
+		return loc.Track(p.windowRecords(k.name, k.day), p.LocWindow)
+	})
+}
+
+// windowFrames returns one fold window's raw mic frames.
+func (p *Pipeline) windowFrames(name string, day int) []speech.Frame {
+	if p.src.BadgeFor(name, day) == 0 {
+		return nil
+	}
+	return p.winFrames.get(wkey{name, day}, func(k wkey) []speech.Frame {
+		return speech.Frames(p.windowRecords(k.name, k.day), p.SpeechConfig)
+	})
+}
+
+// windowActivity returns one fold window's raw classified activity samples.
+func (p *Pipeline) windowActivity(name string, day int) []activity.Sample {
+	if p.src.BadgeFor(name, day) == 0 {
+		return nil
+	}
+	return p.winActivity.get(wkey{name, day}, func(k wkey) []activity.Sample {
+		return activity.Classify(p.windowRecords(k.name, k.day), activity.DefaultConfig())
+	})
+}
+
 // RecordsFor returns the astronaut's records across all data days,
 // concatenated according to the day-wise badge assignment and rectified to
 // mission time. Computed once per astronaut; the returned slice is a
 // shared read-only view.
 func (p *Pipeline) RecordsFor(name string) []record.Record {
+	p.beginAnalysis()
+	defer p.endAnalysis()
+	return p.recordsFor(name)
+}
+
+func (p *Pipeline) recordsFor(name string) []record.Record {
 	if _, err := p.RectifyClocks(); err != nil {
 		return nil
 	}
@@ -245,12 +395,7 @@ func (p *Pipeline) RecordsFor(name string) []record.Record {
 		defer p.observeStage("records", time.Now())
 		var out []record.Record
 		for day := p.src.FirstDay; day <= p.src.LastDay; day++ {
-			id := p.src.BadgeFor(name, day)
-			if id == 0 {
-				continue
-			}
-			from, to := dayRange(day)
-			out = append(out, p.src.Dataset.Series(id).Range(from, to)...)
+			out = append(out, p.windowRecords(name, day)...)
 		}
 		return out
 	})
@@ -258,9 +403,18 @@ func (p *Pipeline) RecordsFor(name string) []record.Record {
 
 // WornRanges returns the astronaut's badge-worn periods (memoized).
 func (p *Pipeline) WornRanges(name string) record.RangeSet {
+	p.beginAnalysis()
+	defer p.endAnalysis()
+	return p.wornRanges(name)
+}
+
+func (p *Pipeline) wornRanges(name string) record.RangeSet {
 	return p.wornCache.get(name, func(name string) record.RangeSet {
 		defer p.observeStage("worn", time.Now())
-		return record.WornRanges(p.RecordsFor(name), p.Horizon())
+		// Worn ranges are a stateful open/close scan across the whole
+		// mission (a badge can stay on over midnight), so they fold at the
+		// astronaut level, not per window — the scan is linear and cheap.
+		return record.WornRanges(p.recordsFor(name), p.Horizon())
 	})
 }
 
@@ -269,14 +423,30 @@ func (p *Pipeline) WornRanges(name string) record.RangeSet {
 // corrupt mobility analyses). Memoized; the returned slice is a shared
 // read-only view.
 func (p *Pipeline) Track(name string) []localization.Fix {
+	p.beginAnalysis()
+	defer p.endAnalysis()
+	return p.track(name)
+}
+
+func (p *Pipeline) track(name string) []localization.Fix {
+	if _, err := p.RectifyClocks(); err != nil {
+		return nil
+	}
 	return p.trackCache.get(name, func(name string) []localization.Fix {
 		defer p.observeStage("track", time.Now())
-		loc, err := localization.NewLocator(p.src.Habitat)
-		if err != nil {
-			return nil
+		var fixes []localization.Fix
+		if p.windowsAligned() {
+			for day := p.src.FirstDay; day <= p.src.LastDay; day++ {
+				fixes = append(fixes, p.windowTrack(name, day)...)
+			}
+		} else {
+			loc, err := p.sharedLocator()
+			if err != nil {
+				return nil
+			}
+			fixes = loc.Track(p.recordsFor(name), p.LocWindow)
 		}
-		fixes := loc.Track(p.RecordsFor(name), p.LocWindow)
-		worn := p.WornRanges(name)
+		worn := p.wornRanges(name)
 		kept := make([]localization.Fix, 0, len(fixes))
 		for _, f := range fixes {
 			if worn.Contains(f.At) {
@@ -290,18 +460,39 @@ func (p *Pipeline) Track(name string) []localization.Fix {
 // Intervals returns the astronaut's room-stay intervals with the pipeline's
 // dwell filter applied (memoized).
 func (p *Pipeline) Intervals(name string) []localization.Interval {
+	p.beginAnalysis()
+	defer p.endAnalysis()
+	return p.intervals(name)
+}
+
+func (p *Pipeline) intervals(name string) []localization.Interval {
 	return p.intervalCache.get(name, func(name string) []localization.Interval {
 		defer p.observeStage("intervals", time.Now())
-		return localization.RoomIntervals(p.Track(name), p.MinDwell, localization.DefaultMaxGap)
+		// Interval assembly bridges gaps and deletes blips across day
+		// boundaries, so it derives from the concatenated track — the
+		// astronaut level is the lowest at which it is exact.
+		return localization.RoomIntervals(p.track(name), p.MinDwell, localization.DefaultMaxGap)
 	})
 }
 
 // Frames returns the astronaut's analyzed mic frames while worn (memoized).
 func (p *Pipeline) Frames(name string) []speech.Frame {
+	p.beginAnalysis()
+	defer p.endAnalysis()
+	return p.frames(name)
+}
+
+func (p *Pipeline) frames(name string) []speech.Frame {
+	if _, err := p.RectifyClocks(); err != nil {
+		return nil
+	}
 	return p.framesCache.get(name, func(name string) []speech.Frame {
 		defer p.observeStage("frames", time.Now())
-		frames := speech.Frames(p.RecordsFor(name), p.SpeechConfig)
-		return speech.FilterWorn(frames, p.WornRanges(name))
+		var raw []speech.Frame
+		for day := p.src.FirstDay; day <= p.src.LastDay; day++ {
+			raw = append(raw, p.windowFrames(name, day)...)
+		}
+		return speech.FilterWorn(raw, p.wornRanges(name))
 	})
 }
 
@@ -310,12 +501,42 @@ func (p *Pipeline) Frames(name string) []speech.Frame {
 // MeanAccelByDay, so the mission-level and per-day walking figures always
 // agree on the worn-time filter.
 func (p *Pipeline) walkingSamples(name string) []activity.Sample {
+	p.beginAnalysis()
+	defer p.endAnalysis()
+	return p.activitySamples(name)
+}
+
+func (p *Pipeline) activitySamples(name string) []activity.Sample {
+	if _, err := p.RectifyClocks(); err != nil {
+		return nil
+	}
 	return p.activityCache.get(name, func(name string) []activity.Sample {
 		defer p.observeStage("activity", time.Now())
-		return activity.FilterWorn(
-			activity.Classify(p.RecordsFor(name), activity.DefaultConfig()),
-			p.WornRanges(name),
-		)
+		var raw []activity.Sample
+		for day := p.src.FirstDay; day <= p.src.LastDay; day++ {
+			raw = append(raw, p.windowActivity(name, day)...)
+		}
+		return activity.FilterWorn(raw, p.wornRanges(name))
+	})
+}
+
+// windowContacts returns one fold window's attributed IR contacts.
+func (p *Pipeline) windowContacts(name string, day int) []proximity.Contact {
+	id := p.src.BadgeFor(name, day)
+	if id == 0 {
+		return nil
+	}
+	return p.winContacts.get(wkey{name, day}, func(k wkey) []proximity.Contact {
+		from, to := dayRange(k.day)
+		var out []proximity.Contact
+		for _, r := range p.src.Dataset.Series(id).RangeKind(from, to, record.KindIR) {
+			peer, ok := p.wearerOf(store.BadgeID(r.PeerID), k.day)
+			if !ok {
+				continue
+			}
+			out = append(out, proximity.Contact{At: r.Local, A: k.name, B: peer})
+		}
+		return out
 	})
 }
 
@@ -345,39 +566,52 @@ func (p *Pipeline) wearerOf(id store.BadgeID, day int) (string, bool) {
 }
 
 // invalidation scopes: each parameter setter drops exactly the caches its
-// parameter feeds into (see the dependency sketch on the cache fields).
+// parameter feeds into (see the dependency sketch on the cache fields),
+// including the window partials that depend on it.
 func (p *Pipeline) invalidateIntervals() {
 	p.intervalCache.reset()
 	p.presenceCache.reset()
 }
 
 func (p *Pipeline) invalidateTracks() {
+	p.winTrack.reset()
 	p.trackCache.reset()
 	p.invalidateIntervals()
 }
 
 func (p *Pipeline) invalidateFrames() {
+	p.winFrames.reset()
 	p.framesCache.reset()
 }
 
 // SetMinDwell changes the dwell filter. Only the interval-derived caches
 // are dropped: worn ranges, tracks, and frames do not depend on the dwell
-// filter and stay warm.
+// filter and stay warm. Panics if an analysis is in flight (configure,
+// then analyze).
 func (p *Pipeline) SetMinDwell(d time.Duration) {
+	p.checkQuiescent("SetMinDwell")
+	p.foldMu.Lock()
+	defer p.foldMu.Unlock()
 	p.MinDwell = d
 	p.invalidateIntervals()
 }
 
 // SetLocWindow changes the localization scan window and drops the track-
-// derived caches.
+// derived caches. Panics if an analysis is in flight.
 func (p *Pipeline) SetLocWindow(w time.Duration) {
+	p.checkQuiescent("SetLocWindow")
+	p.foldMu.Lock()
+	defer p.foldMu.Unlock()
 	p.LocWindow = w
 	p.invalidateTracks()
 }
 
 // SetSpeechConfig changes the speech thresholds and drops the mic-frame
-// cache.
+// caches. Panics if an analysis is in flight.
 func (p *Pipeline) SetSpeechConfig(cfg speech.Config) {
+	p.checkQuiescent("SetSpeechConfig")
+	p.foldMu.Lock()
+	defer p.foldMu.Unlock()
 	p.SpeechConfig = cfg
 	p.invalidateFrames()
 }

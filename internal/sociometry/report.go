@@ -19,6 +19,8 @@ import (
 // sections render in parallel; the document is assembled in fixed section
 // order, so equal seeds give byte-identical reports at any Parallelism.
 func (p *Pipeline) Report() string {
+	p.beginAnalysis()
+	defer p.endAnalysis()
 	p.Warm()
 	sections := []func(*strings.Builder){
 		p.reportDataset,

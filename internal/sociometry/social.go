@@ -11,13 +11,14 @@ import (
 	"icares/internal/simtime"
 	"icares/internal/speech"
 	"icares/internal/stats"
-	"icares/internal/store"
 )
 
 // Presence assembles the proximity input: per astronaut, the worn-time room
 // intervals. The per-astronaut intervals are derived in parallel and the
 // whole map is memoized (invalidated by SetMinDwell/SetLocWindow).
 func (p *Pipeline) Presence() proximity.Presence {
+	p.beginAnalysis()
+	defer p.endAnalysis()
 	return p.presenceCache.get(struct{}{}, func(struct{}) proximity.Presence {
 		ivs := make([][]localization.Interval, len(p.src.Names))
 		p.forEach(len(p.src.Names), func(i int) {
@@ -188,6 +189,8 @@ const companyBasisFraction = 0.6
 // NaN for astronauts whose tracked presence is too short for a
 // mission-level comparison (the paper's C row).
 func (p *Pipeline) TableI() []TableIRow {
+	p.beginAnalysis()
+	defer p.endAnalysis()
 	presence := p.Presence()
 	company := proximity.CompanyTime(presence)
 	pairTime := proximity.PairTime(presence)
@@ -267,6 +270,8 @@ type PairwiseReport struct {
 
 // Pairwise computes all three pairwise interaction measures.
 func (p *Pipeline) Pairwise() PairwiseReport {
+	p.beginAnalysis()
+	defer p.endAnalysis()
 	presence := p.Presence()
 	return PairwiseReport{
 		All:     proximity.PairTime(presence),
@@ -276,28 +281,20 @@ func (p *Pipeline) Pairwise() PairwiseReport {
 }
 
 // irPairTime maps IR records through the day-wise assignment to astronaut
-// pairs. Peer attribution uses the memoized per-day BadgeID→name inverse
-// (wearers), so each IR record costs O(1) instead of an O(crew) scan of
-// BadgeFor. The per-astronaut contact lists are collected in parallel and
-// concatenated in crew order, preserving the sequential contact ordering.
+// pairs. The attributed contacts are folded from the per-(astronaut, day)
+// windowContacts partials — each window memoized independently, so a live
+// append recomputes one window, not the mission — collected in parallel per
+// astronaut and concatenated in crew order, preserving the sequential
+// contact ordering. Peer attribution inside a window uses the memoized
+// per-day BadgeID→name inverse (wearers), so each IR record costs O(1)
+// instead of an O(crew) scan of BadgeFor.
 func (p *Pipeline) irPairTime() map[proximity.Pair]time.Duration {
 	perName := make([][]proximity.Contact, len(p.src.Names))
 	p.forEach(len(p.src.Names), func(i int) {
 		name := p.src.Names[i]
 		var contacts []proximity.Contact
 		for day := p.src.FirstDay; day <= p.src.LastDay; day++ {
-			id := p.src.BadgeFor(name, day)
-			if id == 0 {
-				continue
-			}
-			from, to := dayRange(day)
-			for _, r := range p.src.Dataset.Series(id).RangeKind(from, to, record.KindIR) {
-				peer, ok := p.wearerOf(store.BadgeID(r.PeerID), day)
-				if !ok {
-					continue
-				}
-				contacts = append(contacts, proximity.Contact{At: r.Local, A: name, B: peer})
-			}
+			contacts = append(contacts, p.windowContacts(name, day)...)
 		}
 		perName[i] = contacts
 	})
@@ -416,6 +413,8 @@ func daytimeRange(day int) record.TimeRange {
 // floating-point accumulation below stays sequential in crew order so the
 // result is byte-identical at any Parallelism.
 func (p *Pipeline) Wear() WearStats {
+	p.beginAnalysis()
+	defer p.endAnalysis()
 	p.forEachName(func(name string) { p.WornRanges(name) })
 	out := WearStats{ByDay: make(map[int]float64), TotalBytes: p.src.Dataset.EncodedBytes()}
 	var wornSum, activeSum, persons float64

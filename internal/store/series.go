@@ -35,8 +35,24 @@ const (
 // the backing array, so callers must not rectify while another goroutine
 // still uses a previously returned view. The analysis pipeline guarantees
 // this by rectifying exactly once before any concurrent reads begin.
+//
+// For live ingestion the series keeps a monotone append sequence number
+// (Seq) — the high-water mark incremental consumers diff against — and an
+// optional rectifier applied to each appended record's timestamp, so records
+// arriving after a dataset-wide Rectify land directly on reference time
+// instead of silently mixing clock domains.
 type Series struct {
 	mu sync.RWMutex
+
+	// seq counts appends; it never decreases and is 0 for an empty series.
+	seq uint64
+	// rectifier, when set, maps each appended record's Local timestamp
+	// (e.g. to reference time via timesync.Correction.ToReference) before
+	// insertion. See SetRectifier.
+	rectifier func(time.Duration) time.Duration
+	// onAppend, when set (by Dataset.Series), publishes each append to the
+	// dataset's subscribers. Called outside the series lock.
+	onAppend func(record.Record, uint64)
 
 	// runs partition the append sequence in order: every record in runs[i]
 	// was appended before every record in runs[i+1], and each run is
@@ -64,10 +80,25 @@ type Series struct {
 	unsized int
 }
 
-// Append adds a record to the series.
+// Append adds a record to the series, applying the installed rectifier (if
+// any) to its timestamp first and publishing the append to the owning
+// dataset's subscribers.
 func (s *Series) Append(r record.Record) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	if s.rectifier != nil {
+		r.Local = s.rectifier(r.Local)
+	}
+	s.seq++
+	seq := s.seq
+	s.appendLocked(r)
+	notify := s.onAppend
+	s.mu.Unlock()
+	if notify != nil {
+		notify(r, seq)
+	}
+}
+
+func (s *Series) appendLocked(r record.Record) {
 	if sz, err := record.EncodedSize(r); err != nil {
 		s.unsized++
 	} else {
@@ -92,6 +123,27 @@ func (s *Series) Append(r record.Record) {
 	if len(s.tail) >= maxTail {
 		s.sealTailLocked()
 	}
+}
+
+// Seq returns the series' append sequence number: the count of records ever
+// appended, a monotone high-water mark incremental consumers can diff
+// against to know whether (and how much) new data has arrived.
+func (s *Series) Seq() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.seq
+}
+
+// SetRectifier installs fn as the timestamp rectifier applied to every
+// subsequent Append. After a dataset-wide rectification rewrote the stored
+// timestamps to reference time, installing the same correction here keeps
+// late-arriving records in the same clock domain — the incremental
+// counterpart of Series.Rectify, touching only new records. A nil fn removes
+// the rectifier.
+func (s *Series) SetRectifier(fn func(time.Duration) time.Duration) {
+	s.mu.Lock()
+	s.rectifier = fn
+	s.mu.Unlock()
 }
 
 // sealTailLocked sorts the tail (if needed) and turns it into the newest

@@ -10,6 +10,12 @@
 // append via record.EncodedSize, and Save/Load fan out across badge files
 // with a bounded worker pool, salvaging partially written logs (see
 // LoadWithReport) instead of failing the whole dataset.
+//
+// The store also serves the live path: every series carries a monotone
+// append sequence number (Series.Seq), datasets expose those as high-water
+// marks (Watermark) and publish append notifications (Subscribe), and a
+// series can rectify late-arriving records on ingest (SetRectifier) — the
+// hooks incremental consumers use to fold in only what is new.
 package store
 
 import (
@@ -17,7 +23,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"icares/internal/record"
 	"icares/internal/timesync"
 )
 
@@ -36,6 +44,13 @@ type Dataset struct {
 	rectMu      sync.Mutex
 	rectified   bool
 	corrections map[BadgeID]timesync.Correction
+
+	// Append subscriptions (Subscribe). subCount mirrors len(subs) so the
+	// per-append publish path costs one atomic load when nobody listens.
+	subMu    sync.RWMutex
+	subs     map[int]func(BadgeID, record.Record, uint64)
+	nextSub  int
+	subCount atomic.Int32
 }
 
 // NewDataset creates an empty dataset.
@@ -57,8 +72,59 @@ func (d *Dataset) Series(id BadgeID) *Series {
 		return s
 	}
 	s = &Series{}
+	s.onAppend = func(r record.Record, seq uint64) { d.publish(id, r, seq) }
 	d.series[id] = s
 	return s
+}
+
+// Subscribe registers fn to be called for every record appended to any of
+// the dataset's series, with the badge it landed on and the series' append
+// sequence number after the append. The callback runs synchronously on the
+// appending goroutine and must be fast and must not append to or query the
+// dataset (mark state and return; do the work elsewhere). The returned
+// cancel function removes the subscription.
+func (d *Dataset) Subscribe(fn func(id BadgeID, r record.Record, seq uint64)) (cancel func()) {
+	d.subMu.Lock()
+	if d.subs == nil {
+		d.subs = make(map[int]func(BadgeID, record.Record, uint64))
+	}
+	token := d.nextSub
+	d.nextSub++
+	d.subs[token] = fn
+	d.subCount.Store(int32(len(d.subs)))
+	d.subMu.Unlock()
+	return func() {
+		d.subMu.Lock()
+		delete(d.subs, token)
+		d.subCount.Store(int32(len(d.subs)))
+		d.subMu.Unlock()
+	}
+}
+
+// publish fans one append out to the subscribers.
+func (d *Dataset) publish(id BadgeID, r record.Record, seq uint64) {
+	if d.subCount.Load() == 0 {
+		return
+	}
+	d.subMu.RLock()
+	for _, fn := range d.subs {
+		fn(id, r, seq)
+	}
+	d.subMu.RUnlock()
+}
+
+// Watermark snapshots every series' append sequence number — the dataset's
+// high-water marks. An incremental consumer records a watermark, works, and
+// later diffs a fresh watermark against it to learn which badges received
+// data in between (and how many records).
+func (d *Dataset) Watermark() map[BadgeID]uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make(map[BadgeID]uint64, len(d.series))
+	for id, s := range d.series {
+		out[id] = s.Seq()
+	}
+	return out
 }
 
 // Has reports whether the dataset contains any records for the badge.

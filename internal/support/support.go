@@ -76,6 +76,7 @@ type Daemon struct {
 	detectors []Detector
 	privacy   *PrivacyGuard
 	health    *HealthRegistry
+	analytics *Analytics
 
 	alerts []Alert
 	subs   []func(Alert)
@@ -125,6 +126,13 @@ func (d *Daemon) Instrument(reg *telemetry.Registry) {
 	d.gDetectors.Set(float64(len(d.detectors)))
 	d.gKnown = reg.Gauge("support_known_badges")
 }
+
+// AttachAnalytics routes every ingested record (post privacy scrub) into
+// the live sociometric analytics. Attach before ingestion starts.
+func (d *Daemon) AttachAnalytics(a *Analytics) { d.analytics = a }
+
+// Analytics returns the attached live analytics, nil if none.
+func (d *Daemon) Analytics() *Analytics { return d.analytics }
 
 // Privacy returns the daemon's privacy guard.
 func (d *Daemon) Privacy() *PrivacyGuard { return d.privacy }
@@ -181,6 +189,9 @@ func (d *Daemon) Ingest(at time.Duration, wearer string, badge store.BadgeID, re
 	if d.privacy.Suppressed(wearer, at) && privacySensitive(rec.Kind) {
 		d.cScrubbed.Inc()
 		return
+	}
+	if d.analytics != nil {
+		d.analytics.Ingest(badge, rec)
 	}
 	for _, det := range d.detectors {
 		d.raise(det.Observe(at, wearer, badge, rec))

@@ -150,3 +150,54 @@ func EstimateFromRecords(recs []record.Record) (Correction, error) {
 func Identity() Correction {
 	return Correction{}
 }
+
+// Estimator accumulates sync observations incrementally — as a gateway
+// delivers a badge's records — and fits a Correction on demand. Fit is
+// memoized until new observations arrive and delegates to Estimate over the
+// accumulated set, so a fit over observations fed in any number of batches
+// is byte-identical to one batch Estimate over the same observations — the
+// property the pipeline's incremental rectification relies on.
+//
+// An Estimator is not safe for concurrent use; callers serialize Observe
+// and Fit.
+type Estimator struct {
+	obs    []Observation
+	dirty  bool
+	fitted bool
+	last   Correction
+	err    error
+}
+
+// Observe adds one sync exchange.
+func (e *Estimator) Observe(o Observation) {
+	e.obs = append(e.obs, o)
+	e.dirty = true
+}
+
+// ObserveRecords feeds every KindSync record into the estimator and returns
+// how many observations were added.
+func (e *Estimator) ObserveRecords(recs []record.Record) int {
+	n := 0
+	for _, r := range recs {
+		if r.Kind != record.KindSync {
+			continue
+		}
+		e.Observe(Observation{Local: r.Local, Ref: r.RefTime})
+		n++
+	}
+	return n
+}
+
+// N returns the number of accumulated observations.
+func (e *Estimator) N() int { return len(e.obs) }
+
+// Fit returns the correction over every observation so far, recomputing
+// only when new observations arrived since the last fit.
+func (e *Estimator) Fit() (Correction, error) {
+	if e.dirty || !e.fitted {
+		e.last, e.err = Estimate(e.obs)
+		e.dirty = false
+		e.fitted = true
+	}
+	return e.last, e.err
+}

@@ -183,3 +183,44 @@ func TestQuickEstimateRecovery(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestEstimatorMatchesBatchEstimate pins the incremental estimator's core
+// contract: observations fed in any chunking produce the exact fit a single
+// batch Estimate gives, and Fit is memoized until new data arrives.
+func TestEstimatorMatchesBatchEstimate(t *testing.T) {
+	var obs []Observation
+	var recs []record.Record
+	for i := 0; i < 40; i++ {
+		ref := time.Duration(i) * 10 * time.Minute
+		local := 3*time.Second + time.Duration(float64(ref)*(1+15e-6))
+		obs = append(obs, Observation{Local: local, Ref: ref})
+		recs = append(recs, record.Record{Kind: record.KindSync, Local: local, RefTime: ref})
+	}
+	want, err := Estimate(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var e Estimator
+	if _, err := e.Fit(); err == nil {
+		t.Fatal("empty estimator fitted")
+	}
+	// Feed in uneven chunks, fitting in between (stale fits must not poison
+	// the final one).
+	for _, chunk := range [][]record.Record{recs[:3], recs[3:17], recs[17:18], recs[18:]} {
+		if n := e.ObserveRecords(chunk); n != len(chunk) {
+			t.Fatalf("observed %d of %d records", n, len(chunk))
+		}
+		e.Fit()
+	}
+	got, err := e.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("incremental fit %+v != batch fit %+v", got, want)
+	}
+	if e.N() != len(obs) {
+		t.Fatalf("N = %d, want %d", e.N(), len(obs))
+	}
+}
