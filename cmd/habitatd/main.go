@@ -4,21 +4,31 @@
 // demonstrates the consensus-approval protocol and the day-12 stale-command
 // detection over the delayed mission-control link.
 //
+// With -fleet N it instead runs N concurrent habitats — each its own
+// mission, store, and live analytics — and serves the fleet query API
+// (see internal/fleet) until interrupted.
+//
 // Usage:
 //
-//	habitatd [-seed N] [-days N] [-max N] [-metrics] [-debug-addr HOST:PORT]
+//	habitatd [-seed N] [-days N] [-tick D] [-max N] [-metrics] [-debug-addr HOST:PORT]
+//	habitatd -fleet N [-seed N] [-days N] [-tick D] [-addr HOST:PORT] [-debug-addr HOST:PORT]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"icares"
+	"icares/internal/fleet"
 	"icares/internal/simtime"
 	"icares/internal/support"
 	"icares/internal/telemetry"
@@ -26,42 +36,48 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "habitatd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("habitatd", flag.ContinueOnError)
-	seed := fs.Uint64("seed", 42, "simulation seed")
+	seed := fs.Uint64("seed", 42, "simulation seed (fleet mode: habitat i uses seed+i)")
 	days := fs.Int("days", 4, "mission length in days")
+	tick := fs.Duration("tick", 0, "simulation step (default 5s; coarser ticks run faster)")
 	maxAlerts := fs.Int("max", 40, "maximum alerts to print")
 	metrics := fs.Bool("metrics", false, "dump the telemetry registry after the run")
-	debugAddr := fs.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060); keeps the process alive after the run")
+	fleetN := fs.Int("fleet", 0, "run N habitats as a fleet and serve the query API (0 = single-habitat replay)")
+	addr := fs.String("addr", "localhost:8080", "fleet API listen address (with -fleet)")
+	debugAddr := fs.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060); keeps a single-habitat run alive afterwards")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	reg := telemetry.NewRegistry()
+	var dbg *debugServer
 	if *debugAddr != "" {
 		reg.PublishExpvar("icares")
-		ln, err := net.Listen("tcp", *debugAddr)
-		if err != nil {
-			return fmt.Errorf("debug listener: %w", err)
+		var err error
+		if dbg, err = startDebugServer(*debugAddr); err != nil {
+			return err
 		}
-		fmt.Printf("debug server on http://%s/debug/vars and /debug/pprof/\n", ln.Addr())
-		go func() {
-			// DefaultServeMux carries the expvar and pprof handlers
-			// registered by their package imports.
-			if err := http.Serve(ln, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "debug server:", err)
-			}
-		}()
+		defer dbg.Shutdown(context.Background())
+		fmt.Printf("debug server on http://%s/debug/vars and /debug/pprof/\n", dbg.Addr())
+	}
+
+	if *fleetN > 0 {
+		return runFleet(ctx, fleetConfig{
+			n: *fleetN, baseSeed: *seed, days: *days, tick: *tick, addr: *addr, reg: reg,
+		})
 	}
 
 	fmt.Printf("simulating %d mission days (seed %d)...\n", *days, *seed)
-	m, err := icares.Simulate(icares.Options{Seed: *seed, Days: *days, Telemetry: reg})
+	m, err := icares.Simulate(icares.Options{Seed: *seed, Days: *days, Tick: *tick, Telemetry: reg})
 	if err != nil {
 		return err
 	}
@@ -105,11 +121,117 @@ func run(args []string) error {
 			return err
 		}
 	}
-	if *debugAddr != "" {
+	if dbg != nil {
 		fmt.Println("\nrun complete; debug server still up — ctrl-c to exit")
-		select {}
+		<-ctx.Done()
 	}
 	return nil
+}
+
+// debugServer owns the expvar/pprof endpoint. The obvious
+// `go http.Serve(ln, nil)` both leaks the serving goroutine and reports
+// a spurious "use of closed network connection" error when the listener
+// closes underneath it at shutdown; wrapping an http.Server restores a
+// clean lifecycle: Shutdown drains, the goroutine is reaped, and the
+// only error ever surfaced is a real one.
+type debugServer struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan error
+}
+
+func startDebugServer(addr string) (*debugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debug listener: %w", err)
+	}
+	// The nil handler is DefaultServeMux, which carries the expvar and
+	// pprof handlers registered by their package imports.
+	d := &debugServer{ln: ln, srv: &http.Server{}, done: make(chan error, 1)}
+	go func() {
+		err := d.srv.Serve(ln)
+		if errors.Is(err, http.ErrServerClosed) {
+			err = nil
+		}
+		d.done <- err
+	}()
+	return d, nil
+}
+
+// Addr returns the bound listen address.
+func (d *debugServer) Addr() net.Addr { return d.ln.Addr() }
+
+// Shutdown stops the server, reaps the serving goroutine, and returns
+// any real serve error.
+func (d *debugServer) Shutdown(ctx context.Context) error {
+	err := d.srv.Shutdown(ctx)
+	if serr := <-d.done; err == nil {
+		err = serr
+	}
+	return err
+}
+
+type fleetConfig struct {
+	n        int
+	baseSeed uint64
+	days     int
+	tick     time.Duration
+	addr     string
+	reg      *telemetry.Registry
+}
+
+// runFleet builds the fleet and serves its API until the context is
+// cancelled (ctrl-c) or the server fails.
+func runFleet(ctx context.Context, cfg fleetConfig) error {
+	habitats := make([]fleet.HabitatConfig, cfg.n)
+	for i := range habitats {
+		habitats[i] = fleet.HabitatConfig{
+			ID:   fmt.Sprintf("hab-%02d", i),
+			Seed: cfg.baseSeed + uint64(i),
+			Days: cfg.days,
+			Tick: cfg.tick,
+		}
+	}
+	fmt.Printf("building %d-habitat fleet (seeds %d..%d, %d days each)...\n",
+		cfg.n, cfg.baseSeed, cfg.baseSeed+uint64(cfg.n)-1, cfg.days)
+	f, err := fleet.New(fleet.Config{Habitats: habitats, Telemetry: cfg.reg})
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return fmt.Errorf("fleet listener: %w", err)
+	}
+	fmt.Printf("fleet API on http://%s/habitats (ctrl-c to exit)\n", ln.Addr())
+	return serveFleet(ctx, f.Handler(), ln)
+}
+
+// serveFleet runs the API server on ln until ctx is cancelled, then
+// shuts it down gracefully. It returns nil on a clean shutdown.
+func serveFleet(ctx context.Context, handler http.Handler, ln net.Listener) error {
+	srv := &http.Server{Handler: handler}
+	done := make(chan error, 1)
+	go func() {
+		err := srv.Serve(ln)
+		if errors.Is(err, http.ErrServerClosed) {
+			err = nil
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("\nshutting down fleet...")
+	shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		return err
+	}
+	return <-done
 }
 
 // demoConsensus walks one proposal through the council.

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"icares/internal/fleet"
+)
+
+// TestDebugServerCleanShutdown pins the debug server's lifecycle: it
+// serves while up, Shutdown returns nil (no spurious closed-listener
+// error), the serving goroutine is reaped, and the port is released.
+func TestDebugServerCleanShutdown(t *testing.T) {
+	before := runtime.NumGoroutine()
+	d, err := startDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := d.Addr().String()
+
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	resp, err := client.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatalf("debug server not serving: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/vars = %d", resp.StatusCode)
+	}
+
+	if err := d.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown reported an error on a clean close: %v", err)
+	}
+
+	// The port is released immediately...
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("port not released after shutdown: %v", err)
+	}
+	ln.Close()
+
+	// ...and the serving goroutine is gone (allow unrelated runtime
+	// goroutines a moment to settle).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after shutdown", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServeFleetCleanShutdown drives the fleet mode's serve loop: the
+// API answers while the context lives, and cancellation drains into a
+// nil return with the listener closed.
+func TestServeFleetCleanShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet build in -short mode")
+	}
+	f, err := fleet.New(fleet.Config{Habitats: []fleet.HabitatConfig{
+		{ID: "hab-00", Seed: 42, Days: 2, Tick: time.Minute},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- serveFleet(ctx, f.Handler(), ln) }()
+
+	var resp *http.Response
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err = http.Get("http://" + addr + "/habitats")
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet API never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"hab-00"`) {
+		t.Fatalf("GET /habitats = %d %q", resp.StatusCode, body)
+	}
+
+	cancel()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("serveFleet returned %v on clean shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serveFleet did not return after cancellation")
+	}
+	if _, err := http.Get("http://" + addr + "/habitats"); err == nil {
+		t.Error("fleet API still answering after shutdown")
+	}
+}
+
+// TestRunSingleHabitat smokes the classic CLI path end to end at a
+// coarse tick: it must complete without error and without hanging when
+// no debug server holds the process open.
+func TestRunSingleHabitat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mission replay in -short mode")
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(context.Background(), []string{"-seed", "7", "-days", "2", "-tick", "60s", "-max", "3"})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(2 * time.Minute):
+		t.Fatal("single-habitat run did not terminate")
+	}
+}
+
+// TestFleetEndpointsViaHandler sanity-checks that the handler habitatd
+// mounts is the same routing authority the fleet battery proves out —
+// one spot check per route family through an httptest server.
+func TestFleetEndpointsViaHandler(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet build in -short mode")
+	}
+	f, err := fleet.New(fleet.Config{Habitats: []fleet.HabitatConfig{
+		{ID: "hab-00", Seed: 43, Days: 2, Tick: time.Minute},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if !f.WaitIdle(2 * time.Minute) {
+		t.Fatal("habitat never settled")
+	}
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+	for path, want := range map[string]int{
+		"/habitats":               http.StatusOK,
+		"/habitats/hab-00/report": http.StatusOK,
+		"/fleet/summary":          http.StatusOK,
+		"/habitats/nope/report":   http.StatusNotFound,
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s = %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}

@@ -45,6 +45,10 @@ type Options struct {
 	Seed uint64
 	// Days is the mission length (default: the full 14-day ICAres-1).
 	Days int
+	// Tick overrides the simulation step (default 5 s). Coarser ticks
+	// trade sensing density for speed — fleet deployments run many
+	// habitats at coarse ticks where one habitat would run fine ones.
+	Tick time.Duration
 	// CollectTruth retains ground-truth behaviour samples for validation.
 	CollectTruth bool
 	// Faults applies a deterministic fault schedule to the run (badge
@@ -88,6 +92,7 @@ func Simulate(opts Options) (*Mission, error) {
 	res, err := mission.Run(mission.Config{
 		Seed:         opts.Seed,
 		Scenario:     sc,
+		Tick:         opts.Tick,
 		CollectTruth: opts.CollectTruth,
 		Faults:       opts.Faults,
 		Telemetry:    opts.Telemetry,

@@ -1,0 +1,90 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"icares"
+)
+
+// coarseTick keeps fleet-test missions cheap: a 60 s simulation step
+// produces ~35k records per habitat-day instead of ~450k, with the
+// determinism contract (equal seed + tick = identical habitat) intact.
+const coarseTick = time.Minute
+
+// standaloneReport runs the reference single-habitat path for a seed: a
+// fresh simulation and the offline batch pipeline over its SD dataset.
+func standaloneReport(t testing.TB, seed uint64, days int, tick time.Duration) string {
+	t.Helper()
+	m, err := icares.Simulate(icares.Options{Seed: seed, Days: days, Tick: tick})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Pipeline(icares.TrueAssignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Report()
+}
+
+// TestEngineReportParity is the fleet's ground-truth anchor: a habitat
+// engine that ingested its whole mission through the offload gateway
+// must produce a live report byte-identical to a standalone
+// single-habitat run of the same seed — the fleet path adds sharding
+// and transport, never data drift.
+func TestEngineReportParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mission fixture in -short mode")
+	}
+	for _, seed := range []uint64{7, 8} {
+		e, err := newEngine("hab", HabitatConfig{ID: "hab", Seed: seed, Days: 2, Tick: coarseTick})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.run()
+		if e.undelivered != 0 {
+			t.Fatalf("seed %d: %d records undeliverable on a lossless transport", seed, e.undelivered)
+		}
+		if want := e.mission.Result().Dataset.TotalRecords(); e.ingested != want {
+			t.Fatalf("seed %d: ingested %d of %d records (exactly-once violated)", seed, e.ingested, want)
+		}
+		live := e.report()
+		standalone := standaloneReport(t, seed, 2, coarseTick)
+		if live != standalone {
+			t.Errorf("seed %d: fleet habitat report diverged from standalone run", seed)
+		}
+		e.analytics.Close()
+	}
+}
+
+// TestEngineChaosCompletes pins that a fault-plan-ridden habitat still
+// converges to exactly-once delivery: the transport drops and corrupts,
+// the uploaders retransmit, and every SD record eventually reaches the
+// daemon.
+func TestEngineChaosCompletes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mission fixture in -short mode")
+	}
+	const seed, days = 11, 2
+	plan := icares.ChaosPlan(seed, days)
+	e, err := newEngine("chaos", HabitatConfig{ID: "chaos", Seed: seed, Days: days, Tick: coarseTick, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.analytics.Close()
+	e.run()
+	// Badge-death windows can strand tail records on a dead badge's SD
+	// card past the drain grace; everything the transport could carry
+	// must have arrived exactly once.
+	if e.ingested+e.undelivered < e.mission.Result().Dataset.TotalRecords() {
+		t.Fatalf("ingested %d + undelivered %d < %d total",
+			e.ingested, e.undelivered, e.mission.Result().Dataset.TotalRecords())
+	}
+	if e.ingested > e.mission.Result().Dataset.TotalRecords() {
+		t.Fatalf("ingested %d > %d total (duplicate delivery)",
+			e.ingested, e.mission.Result().Dataset.TotalRecords())
+	}
+	if e.snapshot().Records != e.ingested {
+		t.Fatalf("analytics hold %d records, daemon ingested %d", e.snapshot().Records, e.ingested)
+	}
+}

@@ -1,0 +1,81 @@
+package fleet
+
+import (
+	"net/http"
+	"testing"
+)
+
+// FuzzParseRequest holds ParseRequest to its totality contract: any
+// (method, path, query) triple — including raw bytes that never came
+// from a URL parser — yields either a well-formed Request or a typed
+// APIError from the documented status set, never a panic and never a
+// half-parsed request. ParseRequest is the single routing authority for
+// the fleet API, so this is the whole attack surface of the read path.
+func FuzzParseRequest(f *testing.F) {
+	seeds := [][3]string{
+		{"GET", "/habitats", ""},
+		{"HEAD", "/habitats", ""},
+		{"GET", "/habitats/hab-00/report", ""},
+		{"GET", "/habitats/hab-00/alerts", "kind=battery&limit=5&days=2-3"},
+		{"GET", "/habitats/hab-00/snapshot", ""},
+		{"GET", "/habitats/hab-00/telemetry", ""},
+		{"GET", "/fleet/summary", ""},
+		{"GET", "/fleet/alerts", "limit=50"},
+		{"GET", "/fleet/telemetry", ""},
+		{"POST", "/habitats", ""},
+		{"GET", "/habitats/../secret/report", ""},
+		{"GET", "//habitats///x//alerts/", "days=5-2"},
+		{"GET", "/habitats/hab-00/alerts", "limit=0&kind=&days=0-0"},
+		{"GET", "/habitats/%2e%2e/alerts", "a=%zz;b=1"},
+		{"GET", "/fleet/alerts", "limit=99999999999999999999"},
+		{"\x00", "/\x00/\xff", "\xff=\x00"},
+	}
+	for _, s := range seeds {
+		f.Add(s[0], s[1], s[2])
+	}
+	f.Fuzz(func(t *testing.T, method, path, rawQuery string) {
+		req, apiErr := ParseRequest(method, path, rawQuery)
+		if apiErr != nil {
+			switch apiErr.Status {
+			case http.StatusBadRequest, http.StatusNotFound, http.StatusMethodNotAllowed:
+			default:
+				t.Fatalf("ParseRequest(%q, %q, %q): unexpected status %d", method, path, rawQuery, apiErr.Status)
+			}
+			if apiErr.Message == "" {
+				t.Fatalf("ParseRequest(%q, %q, %q): empty error message", method, path, rawQuery)
+			}
+			if req != (Request{}) {
+				t.Fatalf("ParseRequest(%q, %q, %q): error %v leaked partial request %+v",
+					method, path, rawQuery, apiErr, req)
+			}
+			return
+		}
+
+		// A successful parse satisfies every invariant the handler
+		// relies on without re-checking.
+		switch req.Route {
+		case RouteHabitats, RouteFleetSummary, RouteFleetAlerts, RouteFleetTelemetry:
+			if req.Habitat != "" {
+				t.Fatalf("fleet-level route %v carries habitat %q", req.Route, req.Habitat)
+			}
+		case RouteReport, RouteAlerts, RouteTelemetry, RouteSnapshot:
+			if req.Habitat == "" {
+				t.Fatalf("habitat route %v without habitat ID", req.Route)
+			}
+			if err := validateHabitatID(req.Habitat); err != nil {
+				t.Fatalf("accepted habitat ID %q fails its own validator", req.Habitat)
+			}
+		default:
+			t.Fatalf("ParseRequest(%q, %q, %q): invalid route %d", method, path, rawQuery, req.Route)
+		}
+		if req.Limit < 1 || req.Limit > MaxLimit {
+			t.Fatalf("limit %d outside [1, %d]", req.Limit, MaxLimit)
+		}
+		if req.FromDay == 0 != (req.ToDay == 0) {
+			t.Fatalf("half-open day range: from=%d to=%d", req.FromDay, req.ToDay)
+		}
+		if req.FromDay != 0 && (req.FromDay < 1 || req.ToDay < req.FromDay) {
+			t.Fatalf("malformed day range accepted: from=%d to=%d", req.FromDay, req.ToDay)
+		}
+	})
+}

@@ -1,0 +1,262 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"icares"
+)
+
+// TestHammerQueriesDuringLiveIngest is the -race workhorse: many client
+// goroutines fire the full endpoint mix against a fleet that is still
+// ingesting, so every query path races live ingestion across habitats.
+// Acceptable responses are 200 (served), 503 (bounded queue pushed
+// back), 504 (deadline enforced) — anything else, or a torn response,
+// fails. After the dust settles, each habitat must still be byte-true
+// to its standalone run: racing readers perturb nothing.
+func TestHammerQueriesDuringLiveIngest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet hammer in -short mode")
+	}
+	seeds := []uint64{30, 31, 32, 33}
+	var habitats []HabitatConfig
+	for i, seed := range seeds {
+		habitats = append(habitats, HabitatConfig{
+			ID: fmt.Sprintf("hab-%02d", i), Seed: seed, Days: 2, Tick: coarseTick,
+		})
+	}
+	f, err := New(Config{Habitats: habitats, RequestTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+
+	paths := []string{
+		"/habitats",
+		"/habitats/hab-00/alerts",
+		"/habitats/hab-01/snapshot",
+		"/habitats/hab-02/telemetry",
+		"/habitats/hab-03/alerts?kind=battery",
+		"/fleet/summary",
+		"/fleet/alerts?limit=50",
+		"/fleet/telemetry",
+		"/habitats/hab-01/report",
+	}
+	var served, backpressured atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			client := srv.Client()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				path := paths[(g+i)%len(paths)]
+				resp, err := client.Get(srv.URL + path)
+				if err != nil {
+					t.Errorf("GET %s: %v", path, err)
+					return
+				}
+				body, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr != nil {
+					t.Errorf("GET %s: read: %v", path, rerr)
+					return
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+					served.Add(1)
+					if len(body) == 0 {
+						t.Errorf("GET %s: empty 200 body", path)
+						return
+					}
+				case http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+					backpressured.Add(1)
+				default:
+					t.Errorf("GET %s = %d during live ingest", path, resp.StatusCode)
+					return
+				}
+			}
+		}(g)
+	}
+
+	if !f.WaitIdle(4 * time.Minute) {
+		close(stop)
+		wg.Wait()
+		t.Fatal("fleet never settled under hammer")
+	}
+	close(stop)
+	wg.Wait()
+	t.Logf("hammer: %d served, %d backpressured", served.Load(), backpressured.Load())
+	if served.Load() == 0 {
+		t.Fatal("hammer never got a successful response")
+	}
+
+	for i, seed := range seeds {
+		id := fmt.Sprintf("hab-%02d", i)
+		status, _, body := get(t, srv, "/habitats/"+id+"/report")
+		if status != http.StatusOK {
+			t.Fatalf("%s report = %d after hammer", id, status)
+		}
+		if want := standaloneReport(t, seed, 2, coarseTick); string(body) != want {
+			t.Errorf("%s report diverged from standalone run after hammer", id)
+		}
+	}
+}
+
+// TestFleet32Habitats is the acceptance run: a 32-habitat fleet — 30
+// clean habitats cycling 8 seeds, one under a chaos plan, one frozen
+// solid — serves concurrent per-habitat and cross-fleet queries during
+// live ingest. The frozen habitat must not block anything; same-seed
+// habitats must serve byte-identical reports, each byte-identical to
+// the standalone single-habitat run of that seed.
+func TestFleet32Habitats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("32-habitat fleet in -short mode")
+	}
+	const fleetSize = 32
+	seeds := []uint64{200, 201, 202, 203, 204, 205, 206, 207}
+	var habitats []HabitatConfig
+	for i := 0; i < fleetSize-2; i++ {
+		habitats = append(habitats, HabitatConfig{
+			ID: fmt.Sprintf("hab-%02d", i), Seed: seeds[i%len(seeds)], Days: 2, Tick: coarseTick,
+		})
+	}
+	habitats = append(habitats, HabitatConfig{
+		ID: "hab-chaos", Seed: 300, Days: 2, Tick: coarseTick,
+		Faults: icares.ChaosPlan(300, 2),
+	})
+	habitats = append(habitats, HabitatConfig{
+		ID: "hab-frozen", Seed: seeds[0], Days: 2, Tick: coarseTick,
+	})
+	f, err := New(Config{Habitats: habitats, RequestTimeout: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+
+	release := freeze(t, f.byID["hab-frozen"])
+	released := false
+	defer func() {
+		if !released {
+			release()
+		}
+		f.Close()
+	}()
+
+	// Concurrent load during live ingest, frozen member included.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			client := srv.Client()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var path string
+				switch i % 4 {
+				case 0:
+					path = fmt.Sprintf("/habitats/hab-%02d/alerts", (g*4+i)%(fleetSize-2))
+				case 1:
+					path = fmt.Sprintf("/habitats/hab-%02d/snapshot", (g*7+i)%(fleetSize-2))
+				case 2:
+					path = "/fleet/summary"
+				case 3:
+					path = "/habitats/hab-frozen/alerts"
+				}
+				resp, err := client.Get(srv.URL + path)
+				if err != nil {
+					t.Errorf("GET %s: %v", path, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				frozen := strings.Contains(path, "hab-frozen")
+				switch {
+				case frozen && resp.StatusCode != http.StatusServiceUnavailable && resp.StatusCode != http.StatusGatewayTimeout:
+					t.Errorf("frozen habitat served %d, want 503/504", resp.StatusCode)
+					return
+				case !frozen && resp.StatusCode != http.StatusOK &&
+					resp.StatusCode != http.StatusServiceUnavailable && resp.StatusCode != http.StatusGatewayTimeout:
+					t.Errorf("GET %s = %d", path, resp.StatusCode)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// All habitats except the frozen one must settle under load.
+	deadline := time.Now().Add(8 * time.Minute)
+	for {
+		settled := 0
+		for _, r := range f.runners {
+			if r.id != "hab-frozen" && r.Status() != Ingesting {
+				settled++
+			}
+		}
+		if settled == fleetSize-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("only %d/%d habitats settled with one frozen member", settled, fleetSize-1)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	// Byte parity: every clean habitat against its seed's standalone
+	// run (8 standalone references cover 30 habitats), which also pins
+	// same-seed habitats identical — full tenant isolation.
+	reference := make(map[uint64]string, len(seeds))
+	for _, seed := range seeds {
+		reference[seed] = standaloneReport(t, seed, 2, coarseTick)
+	}
+	for i := 0; i < fleetSize-2; i++ {
+		id := fmt.Sprintf("hab-%02d", i)
+		status, _, body := get(t, srv, "/habitats/"+id+"/report")
+		if status != http.StatusOK {
+			t.Fatalf("%s report = %d", id, status)
+		}
+		if string(body) != reference[habitats[i].Seed] {
+			t.Errorf("%s report diverged from standalone seed-%d run", id, habitats[i].Seed)
+		}
+	}
+
+	// The chaos habitat settled and answers; its snapshot is coherent.
+	if status, _, _ := get(t, srv, "/habitats/hab-chaos/snapshot"); status != http.StatusOK {
+		t.Errorf("chaos habitat snapshot = %d", status)
+	}
+
+	// Fleet summary sees 31 serving, 0 failed (frozen still counts as
+	// ingesting — wedged, not dead).
+	s := f.Summary()
+	if s.Serving != fleetSize-1 || s.Failed != 0 {
+		t.Errorf("summary = %+v, want 31 serving / 0 failed", s)
+	}
+
+	release()
+	released = true
+}

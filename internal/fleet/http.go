@@ -1,0 +1,241 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"icares/internal/simtime"
+	"icares/internal/support"
+	"icares/internal/telemetry"
+)
+
+// Handler returns the fleet's HTTP API:
+//
+//	GET /habitats                    fleet roster with per-habitat status
+//	GET /habitats/{id}/report        live sociometric report (markdown)
+//	GET /habitats/{id}/alerts        alert log (?kind=&limit=&days=A-B)
+//	GET /habitats/{id}/snapshot      live analytics summary (lock-free)
+//	GET /habitats/{id}/telemetry     habitat-local metrics exposition
+//	GET /fleet/summary               cross-fleet aggregates
+//	GET /fleet/alerts                merged alert log (?limit=), with
+//	                                 wedged habitats listed, not awaited
+//	GET /fleet/telemetry             fleet-level metrics (per-habitat labels)
+//
+// Every request carries a deadline (the fleet's RequestTimeout unless
+// the caller's context is tighter); worker-bound queries refused by a
+// full habitat queue return 503 and ones missing their deadline 504 —
+// one slow habitat degrades its own endpoints only.
+func (f *Fleet) Handler() http.Handler {
+	return http.HandlerFunc(f.serve)
+}
+
+// alertJSON is the wire form of one alert.
+type alertJSON struct {
+	Habitat  string `json:"habitat,omitempty"`
+	Day      int    `json:"day"`
+	Clock    string `json:"clock"`
+	AtSec    int64  `json:"at_seconds"`
+	Severity string `json:"severity"`
+	Kind     string `json:"kind"`
+	Subject  string `json:"subject,omitempty"`
+	Message  string `json:"message"`
+}
+
+func toAlertJSON(habitat string, a support.Alert) alertJSON {
+	return alertJSON{
+		Habitat:  habitat,
+		Day:      simtime.DayOf(a.At),
+		Clock:    simtime.ClockString(a.At),
+		AtSec:    int64(a.At / time.Second),
+		Severity: a.Severity.String(),
+		Kind:     a.Kind,
+		Subject:  a.Subject,
+		Message:  a.Message,
+	}
+}
+
+func (f *Fleet) serve(w http.ResponseWriter, r *http.Request) {
+	req, aerr := ParseRequest(r.Method, r.URL.Path, r.URL.RawQuery)
+	if aerr != nil {
+		if aerr.Status == http.StatusMethodNotAllowed {
+			w.Header().Set("Allow", "GET, HEAD")
+		}
+		writeError(w, aerr.Status, aerr.Message)
+		return
+	}
+
+	ctx := r.Context()
+	if _, has := ctx.Deadline(); !has {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, f.cfg.RequestTimeout)
+		defer cancel()
+	}
+
+	f.reg.Counter("fleet_requests_total",
+		telemetry.L("habitat", orFleet(req.Habitat)),
+		telemetry.L("route", routeName(req.Route))).Inc()
+
+	switch req.Route {
+	case RouteHabitats:
+		writeJSON(w, http.StatusOK, map[string]any{"habitats": f.Habitats()})
+
+	case RouteFleetSummary:
+		writeJSON(w, http.StatusOK, f.Summary())
+
+	case RouteFleetTelemetry:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = f.reg.Write(w)
+
+	case RouteFleetAlerts:
+		merged, stalled := f.FleetAlerts(ctx)
+		total := len(merged)
+		if len(merged) > req.Limit {
+			merged = merged[len(merged)-req.Limit:]
+		}
+		out := make([]alertJSON, 0, len(merged))
+		for _, a := range merged {
+			out = append(out, toAlertJSON(a.Habitat, a.Alert))
+		}
+		if stalled == nil {
+			stalled = []string{}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"total": total, "alerts": out, "stalled": stalled,
+		})
+
+	case RouteReport:
+		report, err := f.Report(ctx, req.Habitat)
+		if err != nil {
+			writeFleetError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte(report))
+
+	case RouteAlerts:
+		alerts, err := f.Alerts(ctx, req.Habitat)
+		if err != nil {
+			writeFleetError(w, err)
+			return
+		}
+		filtered := filterAlerts(alerts, req)
+		total := len(filtered)
+		if len(filtered) > req.Limit {
+			filtered = filtered[len(filtered)-req.Limit:]
+		}
+		out := make([]alertJSON, 0, len(filtered))
+		for _, a := range filtered {
+			out = append(out, toAlertJSON("", a))
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"habitat": req.Habitat, "total": total, "alerts": out,
+		})
+
+	case RouteSnapshot:
+		snap, err := f.Snapshot(req.Habitat)
+		if err != nil {
+			writeFleetError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"habitat":          req.Habitat,
+			"records":          snap.Records,
+			"passages":         snap.Passages,
+			"walking":          snap.Walking,
+			"speech":           snap.Speech,
+			"face_to_face_sec": int64(snap.FaceToFace / time.Second),
+		})
+
+	case RouteTelemetry:
+		reg, err := f.HabitatTelemetry(req.Habitat)
+		if err != nil {
+			writeFleetError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = reg.Write(w)
+
+	default:
+		writeError(w, http.StatusNotFound, "unroutable request")
+	}
+}
+
+func filterAlerts(alerts []support.Alert, req Request) []support.Alert {
+	out := alerts[:0:0]
+	for _, a := range alerts {
+		if req.Kind != "" && a.Kind != req.Kind {
+			continue
+		}
+		day := simtime.DayOf(a.At)
+		if req.FromDay > 0 && day < req.FromDay {
+			continue
+		}
+		if req.ToDay > 0 && day > req.ToDay {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// writeFleetError maps the fleet's sentinel errors onto HTTP statuses:
+// unknown habitat 404, full queue 503 (retryable backpressure), missed
+// deadline 504, failed habitat or panicking query 500, stopped fleet 503.
+func writeFleetError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrUnknownHabitat):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrBusy), errors.Is(err, ErrStopped):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrDeadline):
+		status = http.StatusGatewayTimeout
+	}
+	writeError(w, status, err.Error())
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func orFleet(habitat string) string {
+	if habitat == "" {
+		return "_fleet"
+	}
+	return habitat
+}
+
+func routeName(r Route) string {
+	switch r {
+	case RouteHabitats:
+		return "habitats"
+	case RouteReport:
+		return "report"
+	case RouteAlerts:
+		return "alerts"
+	case RouteTelemetry:
+		return "telemetry"
+	case RouteSnapshot:
+		return "snapshot"
+	case RouteFleetSummary:
+		return "fleet-summary"
+	case RouteFleetAlerts:
+		return "fleet-alerts"
+	case RouteFleetTelemetry:
+		return "fleet-telemetry"
+	default:
+		return "unknown"
+	}
+}

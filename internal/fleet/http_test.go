@@ -1,0 +1,382 @@
+package fleet
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixture is the shared two-habitat fleet behind the golden endpoint
+// tests: fixed seeds, fully ingested before the first assertion, so
+// every response is deterministic run to run.
+var (
+	fixOnce sync.Once
+	fixErr  error
+	fix     *Fleet
+	fixSrv  *httptest.Server
+)
+
+func fixtureServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("fleet fixture in -short mode")
+	}
+	fixOnce.Do(func() {
+		fix, fixErr = New(Config{Habitats: []HabitatConfig{
+			{ID: "hab-00", Seed: 100, Days: 2, Tick: coarseTick},
+			{ID: "hab-01", Seed: 101, Days: 2, Tick: coarseTick},
+		}})
+		if fixErr != nil {
+			return
+		}
+		if !fix.WaitIdle(2 * time.Minute) {
+			fixErr = errTimeout
+		}
+		fixSrv = httptest.NewServer(fix.Handler())
+	})
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fixSrv
+}
+
+var errTimeout = &APIError{Status: 500, Message: "fixture fleet never settled"}
+
+// get fetches a path and returns status, content type, and body.
+func get(t *testing.T, srv *httptest.Server, path string) (int, string, []byte) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), body
+}
+
+func decode(t *testing.T, body []byte, into any) {
+	t.Helper()
+	if err := json.Unmarshal(body, into); err != nil {
+		t.Fatalf("bad JSON %q: %v", body, err)
+	}
+}
+
+func TestHabitatsEndpoint(t *testing.T) {
+	srv := fixtureServer(t)
+	status, ct, body := get(t, srv, "/habitats")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200", status)
+	}
+	if !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("content type = %q", ct)
+	}
+	var out struct {
+		Habitats []HabitatInfo `json:"habitats"`
+	}
+	decode(t, body, &out)
+	if len(out.Habitats) != 2 {
+		t.Fatalf("habitats = %d, want 2", len(out.Habitats))
+	}
+	for i, want := range []string{"hab-00", "hab-01"} {
+		h := out.Habitats[i]
+		if h.ID != want {
+			t.Errorf("habitat[%d] = %q, want %q (sorted)", i, h.ID, want)
+		}
+		if h.Status != "serving" {
+			t.Errorf("%s status = %q, want serving", h.ID, h.Status)
+		}
+		if h.Records == 0 {
+			t.Errorf("%s reports zero records", h.ID)
+		}
+	}
+	if out.Habitats[0].Seed != 100 || out.Habitats[1].Seed != 101 {
+		t.Errorf("seeds = %d, %d", out.Habitats[0].Seed, out.Habitats[1].Seed)
+	}
+}
+
+func TestReportEndpoint(t *testing.T) {
+	srv := fixtureServer(t)
+	status, ct, body := get(t, srv, "/habitats/hab-00/report")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200", status)
+	}
+	if !strings.HasPrefix(ct, "text/markdown") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.HasPrefix(string(body), "# Mission sociometric report") {
+		t.Errorf("report does not open with the title: %q", body[:min(len(body), 60)])
+	}
+	// Determinism: the same settled habitat serves the same bytes.
+	status2, _, body2 := get(t, srv, "/habitats/hab-00/report")
+	if status2 != http.StatusOK || string(body2) != string(body) {
+		t.Error("repeated report GET returned different bytes")
+	}
+	// Cross-habitat: different seeds must yield different reports.
+	_, _, other := get(t, srv, "/habitats/hab-01/report")
+	if string(other) == string(body) {
+		t.Error("hab-00 and hab-01 served identical reports despite different seeds")
+	}
+}
+
+// alertsBody is the JSON shape of /habitats/{id}/alerts.
+type alertsBody struct {
+	Habitat string      `json:"habitat"`
+	Total   int         `json:"total"`
+	Alerts  []alertJSON `json:"alerts"`
+}
+
+func TestAlertsEndpoint(t *testing.T) {
+	srv := fixtureServer(t)
+	status, _, body := get(t, srv, "/habitats/hab-00/alerts")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200", status)
+	}
+	var out alertsBody
+	decode(t, body, &out)
+	if out.Habitat != "hab-00" {
+		t.Errorf("habitat = %q", out.Habitat)
+	}
+	if out.Total == 0 || len(out.Alerts) == 0 {
+		t.Fatal("a full mission raised no alerts")
+	}
+	if out.Total != len(out.Alerts) {
+		t.Errorf("total %d but %d alerts returned under the default limit", out.Total, len(out.Alerts))
+	}
+	known := map[string]bool{
+		"inactivity": true, "quiet-crew": true, "battery": true,
+		"hydration": true, "wear-compliance": true, "failover": true,
+	}
+	for _, a := range out.Alerts {
+		if !known[a.Kind] {
+			t.Errorf("unknown alert kind %q", a.Kind)
+		}
+		if a.Severity == "" || a.Message == "" || a.Day < 1 {
+			t.Errorf("malformed alert %+v", a)
+		}
+	}
+
+	// kind filter.
+	kind := out.Alerts[0].Kind
+	status, _, body = get(t, srv, "/habitats/hab-00/alerts?kind="+kind)
+	if status != http.StatusOK {
+		t.Fatalf("kind filter status = %d", status)
+	}
+	var filtered alertsBody
+	decode(t, body, &filtered)
+	if filtered.Total == 0 {
+		t.Errorf("kind %q filter returned nothing", kind)
+	}
+	for _, a := range filtered.Alerts {
+		if a.Kind != kind {
+			t.Errorf("kind filter leaked %q", a.Kind)
+		}
+	}
+
+	// limit: truncates the list, not the total.
+	status, _, body = get(t, srv, "/habitats/hab-00/alerts?limit=1")
+	if status != http.StatusOK {
+		t.Fatalf("limit status = %d", status)
+	}
+	var limited alertsBody
+	decode(t, body, &limited)
+	if len(limited.Alerts) != 1 || limited.Total != out.Total {
+		t.Errorf("limit=1 gave %d alerts, total %d (want 1, %d)", len(limited.Alerts), limited.Total, out.Total)
+	}
+
+	// day range: a 2-day mission has no day-9 alerts.
+	status, _, body = get(t, srv, "/habitats/hab-00/alerts?days=9-12")
+	if status != http.StatusOK {
+		t.Fatalf("days status = %d", status)
+	}
+	var empty alertsBody
+	decode(t, body, &empty)
+	if empty.Total != 0 {
+		t.Errorf("day 9-12 filter on a 2-day mission returned %d alerts", empty.Total)
+	}
+}
+
+func TestSnapshotEndpoint(t *testing.T) {
+	srv := fixtureServer(t)
+	status, _, body := get(t, srv, "/habitats/hab-01/snapshot")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200", status)
+	}
+	var out struct {
+		Habitat  string             `json:"habitat"`
+		Records  int                `json:"records"`
+		Passages int                `json:"passages"`
+		Walking  map[string]float64 `json:"walking"`
+		Speech   map[string]float64 `json:"speech"`
+	}
+	decode(t, body, &out)
+	if out.Habitat != "hab-01" || out.Records == 0 || out.Passages == 0 {
+		t.Errorf("snapshot = %+v", out)
+	}
+	if len(out.Walking) != 6 || len(out.Speech) != 6 {
+		t.Errorf("walking/speech cover %d/%d astronauts, want 6/6", len(out.Walking), len(out.Speech))
+	}
+}
+
+func TestTelemetryEndpoints(t *testing.T) {
+	srv := fixtureServer(t)
+	status, ct, body := get(t, srv, "/habitats/hab-00/telemetry")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200", status)
+	}
+	if !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	for _, metric := range []string{
+		"support_records_ingested_total",
+		"offload_gateway_batches_total",
+		"fleet_engine_records_ingested_total",
+	} {
+		if !strings.Contains(string(body), metric) {
+			t.Errorf("habitat telemetry missing %s", metric)
+		}
+	}
+
+	status, _, body = get(t, srv, "/fleet/telemetry")
+	if status != http.StatusOK {
+		t.Fatalf("fleet telemetry status = %d", status)
+	}
+	if !strings.Contains(string(body), `fleet_requests_total{habitat="hab-00"`) {
+		t.Error("fleet telemetry missing per-habitat request counters")
+	}
+}
+
+func TestFleetSummaryEndpoint(t *testing.T) {
+	srv := fixtureServer(t)
+	status, _, body := get(t, srv, "/fleet/summary")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200", status)
+	}
+	var out Summary
+	decode(t, body, &out)
+	if out.Habitats != 2 || out.Serving != 2 || out.Failed != 0 {
+		t.Errorf("summary = %+v", out)
+	}
+	var list struct {
+		Habitats []HabitatInfo `json:"habitats"`
+	}
+	_, _, lbody := get(t, srv, "/habitats")
+	decode(t, lbody, &list)
+	var records int64
+	for _, h := range list.Habitats {
+		records += h.Records
+	}
+	if out.Records != records {
+		t.Errorf("summary records %d != sum of habitat records %d", out.Records, records)
+	}
+}
+
+func TestFleetAlertsEndpoint(t *testing.T) {
+	srv := fixtureServer(t)
+	status, _, body := get(t, srv, "/fleet/alerts")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200", status)
+	}
+	var out struct {
+		Total   int         `json:"total"`
+		Alerts  []alertJSON `json:"alerts"`
+		Stalled []string    `json:"stalled"`
+	}
+	decode(t, body, &out)
+	if out.Total == 0 {
+		t.Fatal("fleet alerts empty")
+	}
+	if len(out.Stalled) != 0 {
+		t.Errorf("healthy fleet reports stalled habitats: %v", out.Stalled)
+	}
+	seen := map[string]bool{}
+	for i, a := range out.Alerts {
+		seen[a.Habitat] = true
+		if i > 0 && a.AtSec < out.Alerts[i-1].AtSec {
+			t.Fatal("merged alerts not time-ordered")
+		}
+	}
+	if !seen["hab-00"] || !seen["hab-01"] {
+		t.Errorf("merged alerts cover %v, want both habitats", seen)
+	}
+}
+
+// TestErrorResponses is the negative battery: every malformed request
+// maps to its documented status with a JSON error body.
+func TestErrorResponses(t *testing.T) {
+	srv := fixtureServer(t)
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"/habitats/hab-99/report", http.StatusNotFound},    // unknown habitat
+		{"/habitats/hab-00/unknown", http.StatusNotFound},   // unknown leaf
+		{"/habitats/h%61b-00", http.StatusNotFound},         // two segments only
+		{"/fleet/everything", http.StatusNotFound},          // unknown aggregate
+		{"/", http.StatusNotFound},                          // root
+		{"/habitats/../secret/report", http.StatusNotFound}, // traversal alphabet
+		{"/habitats/hab-00/alerts?limit=0", http.StatusBadRequest},
+		{"/habitats/hab-00/alerts?limit=banana", http.StatusBadRequest},
+		{"/habitats/hab-00/alerts?days=5-2", http.StatusBadRequest},
+		{"/habitats/hab-00/alerts?verbose=1", http.StatusBadRequest},
+		{"/habitats/hab-00/alerts?kind=a&kind=b", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		status, ct, body := get(t, srv, tc.path)
+		if status != tc.want {
+			t.Errorf("GET %s = %d, want %d", tc.path, status, tc.want)
+		}
+		if !strings.HasPrefix(ct, "application/json") {
+			t.Errorf("GET %s content type = %q, want JSON error", tc.path, ct)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		decode(t, body, &e)
+		if e.Error == "" {
+			t.Errorf("GET %s: empty error message", tc.path)
+		}
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	srv := fixtureServer(t)
+	for _, method := range []string{http.MethodPost, http.MethodPut, http.MethodDelete} {
+		req, err := http.NewRequest(method, srv.URL+"/habitats", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s /habitats = %d, want 405", method, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); !strings.Contains(allow, "GET") {
+			t.Errorf("%s Allow header = %q", method, allow)
+		}
+	}
+}
+
+// TestFleetReportMatchesStandalone drives the acceptance criterion
+// through the full HTTP stack: the report served over the API is
+// byte-identical to the standalone single-habitat run of the same seed.
+func TestFleetReportMatchesStandalone(t *testing.T) {
+	srv := fixtureServer(t)
+	status, _, body := get(t, srv, "/habitats/hab-01/report")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if want := standaloneReport(t, 101, 2, coarseTick); string(body) != want {
+		t.Error("HTTP-served fleet report diverged from standalone run")
+	}
+}

@@ -1,0 +1,252 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// freeze wedges a habitat's worker on a blocking job, returning the
+// release function. It models the pathological query the isolation
+// contract exists for: the worker is gone until released, and only
+// bounded queues and deadlines keep the habitat's endpoints failing
+// fast instead of piling callers up.
+func freeze(t *testing.T, r *runner) (release func()) {
+	t.Helper()
+	block := make(chan struct{})
+	entered := make(chan struct{})
+	j := &job{
+		name: "freeze",
+		fn: func(*engine) (any, error) {
+			close(entered)
+			<-block
+			return nil, nil
+		},
+		done: make(chan jobResult, 1),
+	}
+	select {
+	case r.jobs <- j:
+	case <-time.After(5 * time.Second):
+		t.Fatal("could not enqueue freeze job")
+	}
+	select {
+	case <-entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker never picked up the freeze job")
+	}
+	return func() { close(block) }
+}
+
+// TestFrozenHabitatDoesNotStallFleet is the headline isolation test:
+// with one habitat's worker wedged mid-query, its own endpoints degrade
+// to fast 503/504s while every other habitat and the fleet aggregates
+// keep answering 200 — and /fleet/alerts reports the wedged habitat as
+// stalled instead of waiting for it.
+func TestFrozenHabitatDoesNotStallFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet fixture in -short mode")
+	}
+	f, err := New(Config{
+		RequestTimeout: 200 * time.Millisecond,
+		QueueDepth:     2,
+		Habitats: []HabitatConfig{
+			{ID: "alpha", Seed: 60, Days: 2, Tick: coarseTick},
+			{ID: "bravo", Seed: 61, Days: 2, Tick: coarseTick},
+			{ID: "congo", Seed: 62, Days: 2, Tick: coarseTick},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.WaitIdle(2 * time.Minute) {
+		t.Fatal("fleet never settled")
+	}
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+
+	release := freeze(t, f.byID["bravo"])
+	released := false
+	defer func() {
+		if !released {
+			release()
+		}
+		f.Close()
+	}()
+
+	// The frozen habitat fails fast: the first queries occupy the
+	// depth-2 queue and miss their deadline (504); once the queue is
+	// full further ones are refused outright (503). Either way the
+	// caller has an answer within the deadline, not a hung connection.
+	for i := 0; i < 5; i++ {
+		start := time.Now()
+		status, _, _ := get(t, srv, "/habitats/bravo/alerts")
+		if status != http.StatusGatewayTimeout && status != http.StatusServiceUnavailable {
+			t.Fatalf("frozen habitat query %d = %d, want 503/504", i, status)
+		}
+		if took := time.Since(start); took > 2*time.Second {
+			t.Fatalf("frozen habitat query %d took %v — deadline not enforced", i, took)
+		}
+	}
+
+	// Every other habitat still serves full queries.
+	for _, id := range []string{"alpha", "congo"} {
+		if status, _, _ := get(t, srv, "/habitats/"+id+"/report"); status != http.StatusOK {
+			t.Errorf("healthy habitat %s report = %d during bravo freeze", id, status)
+		}
+		if status, _, _ := get(t, srv, "/habitats/"+id+"/alerts"); status != http.StatusOK {
+			t.Errorf("healthy habitat %s alerts = %d during bravo freeze", id, status)
+		}
+	}
+
+	// Aggregates answer without the frozen member: summary is built
+	// from atomics, and fleet alerts lists bravo as stalled.
+	if status, _, _ := get(t, srv, "/fleet/summary"); status != http.StatusOK {
+		t.Errorf("fleet summary = %d during freeze", status)
+	}
+	start := time.Now()
+	status, _, body := get(t, srv, "/fleet/alerts")
+	if status != http.StatusOK {
+		t.Fatalf("fleet alerts = %d during freeze", status)
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Errorf("fleet alerts took %v with one frozen habitat", took)
+	}
+	if !strings.Contains(string(body), `"stalled": [`) || !strings.Contains(string(body), `"bravo"`) {
+		t.Errorf("fleet alerts does not report bravo stalled: %s", body)
+	}
+	if !strings.Contains(string(body), `"habitat": "alpha"`) {
+		t.Error("fleet alerts lost the healthy habitats' alerts")
+	}
+
+	// Thaw: the habitat recovers by itself — no restart, no data loss.
+	release()
+	released = true
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if status, _, _ := get(t, srv, "/habitats/bravo/alerts"); status == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("bravo never recovered after thaw")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestIngestPanicQuarantinesHabitat pins panic containment on the
+// ingest path: a habitat whose own pipeline blows up mid-mission flips
+// to failed, its queries return 500 with the failure cause, and the
+// other habitats finish ingesting and serve untouched.
+func TestIngestPanicQuarantinesHabitat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet fixture in -short mode")
+	}
+	f, err := newFleet(Config{
+		RequestTimeout: time.Second,
+		Habitats: []HabitatConfig{
+			{ID: "doomed", Seed: 70, Days: 2, Tick: coarseTick},
+			{ID: "steady", Seed: 71, Days: 2, Tick: coarseTick},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.byID["doomed"].eng.stepHook = func(step int) {
+		if step == 100 {
+			panic("injected: fault plan drove the pipeline into a corner")
+		}
+	}
+	f.start()
+	defer f.Close()
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+
+	if !f.WaitIdle(2 * time.Minute) {
+		t.Fatal("fleet never settled (failed habitat should settle too)")
+	}
+	if got := f.byID["doomed"].Status(); got != Failed {
+		t.Fatalf("doomed status = %v, want failed", got)
+	}
+	if got := f.byID["steady"].Status(); got != Serving {
+		t.Fatalf("steady status = %v, want serving", got)
+	}
+
+	// The failed habitat's worker-bound and lock-free endpoints both
+	// refuse with the cause; the roster and summary surface the state.
+	status, _, body := get(t, srv, "/habitats/doomed/report")
+	if status != http.StatusInternalServerError {
+		t.Errorf("failed habitat report = %d, want 500", status)
+	}
+	if !strings.Contains(string(body), "injected") {
+		t.Errorf("failure cause not surfaced: %s", body)
+	}
+	if status, _, _ := get(t, srv, "/habitats/doomed/snapshot"); status != http.StatusInternalServerError {
+		t.Errorf("failed habitat snapshot = %d, want 500", status)
+	}
+	status, _, body = get(t, srv, "/fleet/summary")
+	if status != http.StatusOK || !strings.Contains(string(body), `"failed": 1`) {
+		t.Errorf("summary does not count the failure: %d %s", status, body)
+	}
+
+	// The survivor is byte-true to its standalone run: the neighbour's
+	// panic corrupted nothing.
+	status, _, body = get(t, srv, "/habitats/steady/report")
+	if status != http.StatusOK {
+		t.Fatalf("steady report = %d", status)
+	}
+	if want := standaloneReport(t, 71, 2, coarseTick); string(body) != want {
+		t.Error("survivor's report diverged after neighbour panic")
+	}
+
+	// Telemetry records the panic under the habitat's label.
+	if !strings.Contains(f.Telemetry().String(), `fleet_panics_total{habitat="doomed"} 1`) {
+		t.Error("panic not counted in fleet telemetry")
+	}
+}
+
+// TestQueryPanicFailsOnlyThatQuery pins the narrower containment: a
+// single pathological query 500s itself without quarantining the
+// habitat — the next query succeeds.
+func TestQueryPanicFailsOnlyThatQuery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet fixture in -short mode")
+	}
+	fixtureServer(t) // ensure the shared fixture exists
+	r := fix.byID["hab-00"]
+	_, err := r.do(context.Background(), "poison", func(*engine) (any, error) {
+		panic("pathological query")
+	})
+	if err == nil || !strings.Contains(err.Error(), "pathological query") {
+		t.Fatalf("poison query error = %v", err)
+	}
+	if got := r.Status(); got != Serving {
+		t.Fatalf("habitat status after query panic = %v, want serving", got)
+	}
+	if _, err := fix.Alerts(context.Background(), "hab-00"); err != nil {
+		t.Fatalf("query after contained panic failed: %v", err)
+	}
+}
+
+// TestClosedFleetRefuses pins shutdown semantics: ErrStopped after
+// Close, not hangs or panics.
+func TestClosedFleetRefuses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet fixture in -short mode")
+	}
+	f, err := New(Config{Habitats: []HabitatConfig{{ID: "solo", Seed: 80, Days: 2, Tick: coarseTick}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WaitIdle(2 * time.Minute)
+	f.Close()
+	if _, err := f.Report(context.Background(), "solo"); !errors.Is(err, ErrStopped) {
+		t.Errorf("report after Close = %v, want ErrStopped", err)
+	}
+	if s := f.Summary(); s.Habitats != 1 {
+		t.Errorf("summary after Close = %+v", s)
+	}
+}

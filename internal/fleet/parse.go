@@ -1,0 +1,212 @@
+package fleet
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// Route identifies one API endpoint.
+type Route int
+
+// API routes.
+const (
+	RouteHabitats       Route = iota + 1 // GET /habitats
+	RouteReport                          // GET /habitats/{id}/report
+	RouteAlerts                          // GET /habitats/{id}/alerts
+	RouteTelemetry                       // GET /habitats/{id}/telemetry
+	RouteSnapshot                        // GET /habitats/{id}/snapshot
+	RouteFleetSummary                    // GET /fleet/summary
+	RouteFleetAlerts                     // GET /fleet/alerts
+	RouteFleetTelemetry                  // GET /fleet/telemetry
+)
+
+// MaxLimit caps the limit query parameter: a single request can never
+// demand an unbounded alert dump.
+const MaxLimit = 10000
+
+// DefaultLimit applies when no limit parameter is given.
+const DefaultLimit = 1000
+
+// Request is one parsed API request.
+type Request struct {
+	Route   Route
+	Habitat string
+	// Kind filters alerts by kind ("" = all).
+	Kind string
+	// Limit bounds list responses; always in [1, MaxLimit] after a
+	// successful parse.
+	Limit int
+	// FromDay/ToDay restrict alerts to mission days [FromDay, ToDay].
+	// Zero means unbounded on that side.
+	FromDay, ToDay int
+}
+
+// APIError is a parse or dispatch failure with its HTTP status.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+// Error implements error.
+func (e *APIError) Error() string { return e.Message }
+
+func badRequest(format string, args ...any) *APIError {
+	return &APIError{Status: http.StatusBadRequest, Message: fmt.Sprintf(format, args...)}
+}
+
+func notFound(path string) *APIError {
+	return &APIError{Status: http.StatusNotFound, Message: fmt.Sprintf("no such resource: %q", path)}
+}
+
+// ParseRequest maps (method, URL path, raw query) onto a Request. It is
+// the single routing authority for the fleet API — the HTTP handler
+// contains no parsing of its own — and it must be total: any input
+// yields either a valid Request or an *APIError, never a panic. The
+// fuzz target FuzzParseRequest holds it to that.
+func ParseRequest(method, path, rawQuery string) (Request, *APIError) {
+	if method != http.MethodGet && method != http.MethodHead {
+		return Request{}, &APIError{
+			Status:  http.StatusMethodNotAllowed,
+			Message: fmt.Sprintf("method %s not allowed (read-only API)", method),
+		}
+	}
+	segs := splitPath(path)
+	req := Request{Limit: DefaultLimit}
+
+	switch {
+	case len(segs) == 1 && segs[0] == "habitats":
+		req.Route = RouteHabitats
+	case len(segs) == 3 && segs[0] == "habitats":
+		id, leaf := segs[1], segs[2]
+		if err := validateHabitatID(id); err != nil {
+			return Request{}, err
+		}
+		req.Habitat = id
+		switch leaf {
+		case "report":
+			req.Route = RouteReport
+		case "alerts":
+			req.Route = RouteAlerts
+		case "telemetry":
+			req.Route = RouteTelemetry
+		case "snapshot":
+			req.Route = RouteSnapshot
+		default:
+			return Request{}, notFound(path)
+		}
+	case len(segs) == 2 && segs[0] == "fleet":
+		switch segs[1] {
+		case "summary":
+			req.Route = RouteFleetSummary
+		case "alerts":
+			req.Route = RouteFleetAlerts
+		case "telemetry":
+			req.Route = RouteFleetTelemetry
+		default:
+			return Request{}, notFound(path)
+		}
+	default:
+		return Request{}, notFound(path)
+	}
+
+	if err := req.parseQuery(rawQuery); err != nil {
+		return Request{}, err
+	}
+	return req, nil
+}
+
+// splitPath cleans and splits a URL path into segments, tolerating
+// duplicate and trailing slashes.
+func splitPath(path string) []string {
+	var segs []string
+	for _, s := range strings.Split(path, "/") {
+		if s != "" {
+			segs = append(segs, s)
+		}
+	}
+	return segs
+}
+
+// validateHabitatID bounds the ID alphabet so arbitrary path bytes never
+// flow into responses or log lines. IDs the fleet actually assigns
+// always pass; anything else is a clean 404 (the resource cannot exist).
+func validateHabitatID(id string) *APIError {
+	if len(id) > 64 {
+		return notFound(id[:64] + "…")
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_', c == '.':
+		default:
+			return notFound(id)
+		}
+	}
+	return nil
+}
+
+// parseQuery applies the supported query parameters. Unknown parameters
+// are rejected: a typo like "limt=5" must fail loudly, not silently
+// return the default-limited response.
+func (r *Request) parseQuery(rawQuery string) *APIError {
+	if rawQuery == "" {
+		return nil
+	}
+	vals, err := url.ParseQuery(rawQuery)
+	if err != nil {
+		return badRequest("bad query string: %v", err)
+	}
+	for key, vv := range vals {
+		if len(vv) != 1 {
+			return badRequest("parameter %q given %d times", key, len(vv))
+		}
+		v := vv[0]
+		switch key {
+		case "limit":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return badRequest("limit must be a positive integer, got %q", v)
+			}
+			if n > MaxLimit {
+				n = MaxLimit
+			}
+			r.Limit = n
+		case "kind":
+			if v == "" {
+				return badRequest("kind must be non-empty")
+			}
+			r.Kind = v
+		case "days":
+			from, to, perr := parseDayRange(v)
+			if perr != nil {
+				return perr
+			}
+			r.FromDay, r.ToDay = from, to
+		default:
+			return badRequest("unknown parameter %q", key)
+		}
+	}
+	return nil
+}
+
+// parseDayRange reads "N" (one day) or "A-B" (inclusive range).
+func parseDayRange(v string) (from, to int, err *APIError) {
+	malformed := func() *APIError {
+		return badRequest("days must be N or A-B with 1 <= A <= B, got %q", v)
+	}
+	lo, hi, ranged := strings.Cut(v, "-")
+	a, aerr := strconv.Atoi(lo)
+	if aerr != nil || a < 1 {
+		return 0, 0, malformed()
+	}
+	if !ranged {
+		return a, a, nil
+	}
+	b, berr := strconv.Atoi(hi)
+	if berr != nil || b < a {
+		return 0, 0, malformed()
+	}
+	return a, b, nil
+}

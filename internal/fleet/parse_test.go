@@ -1,0 +1,97 @@
+package fleet
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestParseRequestRoutes pins the accept side of the routing table: every
+// endpoint, both read methods, messy-but-legal paths, and the full query
+// parameter surface.
+func TestParseRequestRoutes(t *testing.T) {
+	cases := []struct {
+		name                string
+		method, path, query string
+		want                Request
+	}{
+		{"roster", "GET", "/habitats", "", Request{Route: RouteHabitats, Limit: DefaultLimit}},
+		{"roster head", "HEAD", "/habitats", "", Request{Route: RouteHabitats, Limit: DefaultLimit}},
+		{"report", "GET", "/habitats/hab-00/report", "",
+			Request{Route: RouteReport, Habitat: "hab-00", Limit: DefaultLimit}},
+		{"alerts full query", "GET", "/habitats/hab-00/alerts", "kind=battery&limit=5&days=2-3",
+			Request{Route: RouteAlerts, Habitat: "hab-00", Kind: "battery", Limit: 5, FromDay: 2, ToDay: 3}},
+		{"single day", "GET", "/habitats/hab-00/alerts", "days=4",
+			Request{Route: RouteAlerts, Habitat: "hab-00", Limit: DefaultLimit, FromDay: 4, ToDay: 4}},
+		{"limit capped", "GET", "/habitats/hab-00/alerts", "limit=999999",
+			Request{Route: RouteAlerts, Habitat: "hab-00", Limit: MaxLimit}},
+		{"messy slashes", "GET", "//habitats///hab_1.x//telemetry/", "",
+			Request{Route: RouteTelemetry, Habitat: "hab_1.x", Limit: DefaultLimit}},
+		{"snapshot", "GET", "/habitats/a/snapshot", "",
+			Request{Route: RouteSnapshot, Habitat: "a", Limit: DefaultLimit}},
+		{"fleet summary", "GET", "/fleet/summary", "", Request{Route: RouteFleetSummary, Limit: DefaultLimit}},
+		{"fleet alerts", "GET", "/fleet/alerts", "limit=50",
+			Request{Route: RouteFleetAlerts, Limit: 50}},
+		{"fleet telemetry", "GET", "/fleet/telemetry", "", Request{Route: RouteFleetTelemetry, Limit: DefaultLimit}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, apiErr := ParseRequest(tc.method, tc.path, tc.query)
+			if apiErr != nil {
+				t.Fatalf("ParseRequest(%s %s?%s) = %d %q, want ok",
+					tc.method, tc.path, tc.query, apiErr.Status, apiErr.Message)
+			}
+			if got != tc.want {
+				t.Errorf("ParseRequest(%s %s?%s) = %+v, want %+v", tc.method, tc.path, tc.query, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseRequestRejects pins the reject side: each malformed request
+// maps to its documented status, and a rejected parse never leaks a
+// partial Request.
+func TestParseRequestRejects(t *testing.T) {
+	cases := []struct {
+		name                string
+		method, path, query string
+		wantStatus          int
+	}{
+		{"post", "POST", "/habitats", "", http.StatusMethodNotAllowed},
+		{"delete", "DELETE", "/fleet/summary", "", http.StatusMethodNotAllowed},
+		{"root", "GET", "/", "", http.StatusNotFound},
+		{"two segments", "GET", "/habitats/hab-00", "", http.StatusNotFound},
+		{"four segments", "GET", "/habitats/hab-00/alerts/extra", "", http.StatusNotFound},
+		{"unknown leaf", "GET", "/habitats/hab-00/metrics", "", http.StatusNotFound},
+		{"unknown aggregate", "GET", "/fleet/everything", "", http.StatusNotFound},
+		{"traversal id", "GET", "/habitats/../etc/report", "", http.StatusNotFound},
+		{"space in id", "GET", "/habitats/hab 00/report", "", http.StatusNotFound},
+		{"oversized id", "GET", "/habitats/" + string(make([]byte, 80)) + "/report", "", http.StatusNotFound},
+		{"limit zero", "GET", "/habitats/hab-00/alerts", "limit=0", http.StatusBadRequest},
+		{"limit negative", "GET", "/habitats/hab-00/alerts", "limit=-3", http.StatusBadRequest},
+		{"limit word", "GET", "/habitats/hab-00/alerts", "limit=banana", http.StatusBadRequest},
+		{"empty kind", "GET", "/habitats/hab-00/alerts", "kind=", http.StatusBadRequest},
+		{"duplicate kind", "GET", "/habitats/hab-00/alerts", "kind=a&kind=b", http.StatusBadRequest},
+		{"days reversed", "GET", "/habitats/hab-00/alerts", "days=5-2", http.StatusBadRequest},
+		{"days zero", "GET", "/habitats/hab-00/alerts", "days=0", http.StatusBadRequest},
+		{"days word", "GET", "/habitats/hab-00/alerts", "days=mon-fri", http.StatusBadRequest},
+		{"unknown param", "GET", "/habitats/hab-00/alerts", "limt=5", http.StatusBadRequest},
+		{"bad escape", "GET", "/habitats/hab-00/alerts", "kind=%zz", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, apiErr := ParseRequest(tc.method, tc.path, tc.query)
+			if apiErr == nil {
+				t.Fatalf("ParseRequest(%s %s?%s) = %+v, want error", tc.method, tc.path, tc.query, got)
+			}
+			if apiErr.Status != tc.wantStatus {
+				t.Errorf("status = %d, want %d (%s)", apiErr.Status, tc.wantStatus, apiErr.Message)
+			}
+			if apiErr.Message == "" {
+				t.Error("rejected request carries no message")
+			}
+			if got != (Request{}) {
+				t.Errorf("rejected parse leaked a partial request: %+v", got)
+			}
+		})
+	}
+}
