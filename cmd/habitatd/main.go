@@ -10,8 +10,8 @@
 //
 // Usage:
 //
-//	habitatd [-seed N] [-days N] [-tick D] [-max N] [-metrics] [-debug-addr HOST:PORT]
-//	habitatd -fleet N [-seed N] [-days N] [-tick D] [-addr HOST:PORT] [-debug-addr HOST:PORT]
+//	habitatd [-seed N] [-days N] [-tick D] [-max N] [-metrics] [-journal FILE] [-debug-addr HOST:PORT]
+//	habitatd -fleet N [-seed N] [-days N] [-tick D] [-addr HOST:PORT] [-journal FILE] [-debug-addr HOST:PORT]
 package main
 
 import (
@@ -54,6 +54,7 @@ func run(ctx context.Context, args []string) error {
 	fleetN := fs.Int("fleet", 0, "run N habitats as a fleet and serve the query API (0 = single-habitat replay)")
 	addr := fs.String("addr", "localhost:8080", "fleet API listen address (with -fleet)")
 	debugAddr := fs.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060); keeps a single-habitat run alive afterwards")
+	journalPath := fs.String("journal", "", "dump the flight-recorder journal as JSON Lines to this file on exit (\"-\" for stdout); fleet mode dumps the merged fleet timeline")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,17 +74,24 @@ func run(ctx context.Context, args []string) error {
 	if *fleetN > 0 {
 		return runFleet(ctx, fleetConfig{
 			n: *fleetN, baseSeed: *seed, days: *days, tick: *tick, addr: *addr, reg: reg,
+			journalPath: *journalPath,
 		})
 	}
 
+	var journal *telemetry.Journal
+	if *journalPath != "" {
+		journal = telemetry.NewJournal(0)
+	}
+
 	fmt.Printf("simulating %d mission days (seed %d)...\n", *days, *seed)
-	m, err := icares.Simulate(icares.Options{Seed: *seed, Days: *days, Tick: *tick, Telemetry: reg})
+	m, err := icares.Simulate(icares.Options{Seed: *seed, Days: *days, Tick: *tick, Telemetry: reg, Journal: journal})
 	if err != nil {
 		return err
 	}
 
 	daemon, replayer := m.SupportSystem()
 	daemon.Instrument(reg)
+	daemon.AttachJournal(journal)
 	printed := 0
 	daemon.OnAlert(func(a support.Alert) {
 		if printed >= *maxAlerts {
@@ -120,6 +128,13 @@ func run(ctx context.Context, args []string) error {
 		if err := reg.Write(os.Stdout); err != nil {
 			return err
 		}
+	}
+	if journal != nil {
+		if err := dumpEvents(*journalPath, journal.Events()); err != nil {
+			return err
+		}
+		fmt.Printf("\n%d journal events written to %s (%d dropped by the ring)\n",
+			journal.Len(), *journalPath, journal.Dropped())
 	}
 	if dbg != nil {
 		fmt.Println("\nrun complete; debug server still up — ctrl-c to exit")
@@ -172,12 +187,30 @@ func (d *debugServer) Shutdown(ctx context.Context) error {
 }
 
 type fleetConfig struct {
-	n        int
-	baseSeed uint64
-	days     int
-	tick     time.Duration
-	addr     string
-	reg      *telemetry.Registry
+	n           int
+	baseSeed    uint64
+	days        int
+	tick        time.Duration
+	addr        string
+	reg         *telemetry.Registry
+	journalPath string
+}
+
+// dumpEvents writes a flight-recorder timeline as JSON Lines to path
+// ("-" for stdout).
+func dumpEvents(path string, events []telemetry.Event) error {
+	if path == "-" {
+		return telemetry.WriteEventsJSON(os.Stdout, events)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("journal dump: %w", err)
+	}
+	if err := telemetry.WriteEventsJSON(f, events); err != nil {
+		f.Close()
+		return fmt.Errorf("journal dump: %w", err)
+	}
+	return f.Close()
 }
 
 // runFleet builds the fleet and serves its API until the context is
@@ -205,7 +238,17 @@ func runFleet(ctx context.Context, cfg fleetConfig) error {
 		return fmt.Errorf("fleet listener: %w", err)
 	}
 	fmt.Printf("fleet API on http://%s/habitats (ctrl-c to exit)\n", ln.Addr())
-	return serveFleet(ctx, f.Handler(), ln)
+	if err := serveFleet(ctx, f.Handler(), ln); err != nil {
+		return err
+	}
+	if cfg.journalPath != "" {
+		events := f.FleetEvents(telemetry.EventQuery{})
+		if err := dumpEvents(cfg.journalPath, events); err != nil {
+			return err
+		}
+		fmt.Printf("%d journal events written to %s\n", len(events), cfg.journalPath)
+	}
+	return nil
 }
 
 // serveFleet runs the API server on ln until ctx is cancelled, then

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	icares [-seed N] [-days N] [-out DIR] [-metrics]
+//	icares [-seed N] [-days N] [-out DIR] [-metrics] [-chaos] [-journal FILE]
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"icares"
+	"icares/internal/faultplan"
 	"icares/internal/record"
 	"icares/internal/simtime"
 	"icares/internal/telemetry"
@@ -32,6 +33,8 @@ func run(args []string) error {
 	days := fs.Int("days", 14, "mission length in days")
 	out := fs.String("out", "", "directory to write per-badge .icr log files (optional)")
 	metrics := fs.Bool("metrics", false, "dump the telemetry registry and sim-clock spans after the run")
+	chaos := fs.Bool("chaos", false, "subject the mission to the seeded chaos fault plan")
+	journalPath := fs.String("journal", "", "dump the mission flight-recorder journal as JSON Lines to this file (\"-\" for stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -43,10 +46,21 @@ func run(args []string) error {
 		tracer = telemetry.NewTracer(0)
 		tracer.Mirror(reg)
 	}
+	var journal *telemetry.Journal
+	if *journalPath != "" {
+		journal = telemetry.NewJournal(0)
+	}
+	var faults *faultplan.Plan
+	if *chaos {
+		faults = icares.ChaosPlan(*seed, *days)
+	}
 
 	fmt.Printf("ICAres-1 mission simulation — seed %d, %d days\n", *seed, *days)
 	start := time.Now()
-	m, err := icares.Simulate(icares.Options{Seed: *seed, Days: *days, Telemetry: reg, Tracer: tracer})
+	m, err := icares.Simulate(icares.Options{
+		Seed: *seed, Days: *days, Telemetry: reg, Tracer: tracer,
+		Faults: faults, Journal: journal,
+	})
 	if err != nil {
 		return err
 	}
@@ -93,6 +107,28 @@ func run(args []string) error {
 			return err
 		}
 	}
+	if journal != nil {
+		if err := dumpJournal(*journalPath, journal); err != nil {
+			return err
+		}
+		fmt.Printf("\n%d journal events written to %s\n", journal.Len(), *journalPath)
+	}
 	fmt.Println("\nrun `repro -exp all` to regenerate the paper's figures and tables")
 	return nil
+}
+
+// dumpJournal writes the journal as JSON Lines to path ("-" for stdout).
+func dumpJournal(path string, j *telemetry.Journal) error {
+	if path == "-" {
+		return j.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("journal dump: %w", err)
+	}
+	if err := j.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("journal dump: %w", err)
+	}
+	return f.Close()
 }

@@ -62,6 +62,9 @@ type Options struct {
 	// Tracer, when non-nil, records sim-clock spans for the run and each
 	// mission day.
 	Tracer *telemetry.Tracer
+	// Journal, when non-nil, receives flight-recorder events (fault-plan
+	// badge death/reboot transitions) from the mission engine.
+	Journal *telemetry.Journal
 }
 
 // AssignmentView selects which badge-to-astronaut mapping an analysis uses.
@@ -97,6 +100,7 @@ func Simulate(opts Options) (*Mission, error) {
 		Faults:       opts.Faults,
 		Telemetry:    opts.Telemetry,
 		Tracer:       opts.Tracer,
+		Journal:      opts.Journal,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("simulate: %w", err)

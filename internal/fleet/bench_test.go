@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 )
@@ -58,6 +59,61 @@ func BenchmarkFleetQueries(b *testing.B) {
 			}
 		}
 	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// benchFix is a settled two-habitat fleet shared by the serve-path
+// benchmarks, built once no matter how many times the harness re-enters
+// with a larger b.N.
+var (
+	benchFixOnce sync.Once
+	benchFixErr  error
+	benchFix     *Fleet
+)
+
+func benchFleet(b *testing.B) *Fleet {
+	b.Helper()
+	benchFixOnce.Do(func() {
+		benchFix, benchFixErr = New(Config{Habitats: []HabitatConfig{
+			{ID: "hab-00", Seed: 910, Days: 2, Tick: time.Minute},
+			{ID: "hab-01", Seed: 911, Days: 2, Tick: time.Minute},
+		}})
+		if benchFixErr == nil && !benchFix.WaitIdle(4*time.Minute) {
+			benchFixErr = fmt.Errorf("bench fleet never settled")
+		}
+	})
+	if benchFixErr != nil {
+		b.Fatal(benchFixErr)
+	}
+	return benchFix
+}
+
+// BenchmarkServeInstrumented measures the full instrumented handler —
+// request ID, status capture, per-route counters, latency histogram —
+// on the cheapest endpoint, so the number is the middleware plus
+// serialization, not worker scheduling. Compare against
+// BenchmarkServeBare: the acceptance bar is instrumented within 10% of
+// bare.
+func BenchmarkServeInstrumented(b *testing.B) {
+	f := benchFleet(b)
+	req := httptest.NewRequest(http.MethodGet, "/habitats", nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.serve(httptest.NewRecorder(), req)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkServeBare measures the same endpoint through parse+dispatch
+// only — the handler with the instrumentation middleware peeled off.
+func BenchmarkServeBare(b *testing.B) {
+	f := benchFleet(b)
+	req := httptest.NewRequest(http.MethodGet, "/habitats", nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr, aerr := ParseRequest(req.Method, req.URL.Path, req.URL.RawQuery)
+		f.dispatch(httptest.NewRecorder(), req, pr, aerr)
+	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
 }
 

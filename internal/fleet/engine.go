@@ -96,9 +96,10 @@ type feedItem struct {
 // must be called from one goroutine (the runner's worker); only
 // snapshot() is additionally safe for concurrent callers.
 type engine struct {
-	id  string
-	cfg HabitatConfig
-	reg *telemetry.Registry // habitat-local registry
+	id      string
+	cfg     HabitatConfig
+	reg     *telemetry.Registry // habitat-local registry
+	journal *telemetry.Journal  // habitat-local flight recorder
 
 	mission   *icares.Mission
 	daemon    *support.Daemon
@@ -122,6 +123,14 @@ type engine struct {
 	steps       int
 	done        bool
 
+	// Fault-window edge detection: the engine samples the plan's point
+	// queries each step and journals enter/exit transitions, so the
+	// flight recorder carries the injected failure story as events even
+	// though the plan itself is a pure schedule. rfWindows caches the RF
+	// outage windows (any zone counts as an outage for the recorder).
+	rfWindows                        []faultplan.Event
+	inGatewayCrash, inBlackout, inRF bool
+
 	// stepHook, when non-nil, runs at the start of every step with the
 	// step ordinal — the seam the isolation battery uses to model a
 	// habitat whose own pipeline blows up mid-ingest.
@@ -137,12 +146,15 @@ type engine struct {
 func newEngine(id string, cfg HabitatConfig) (*engine, error) {
 	cfg = cfg.withDefaults()
 	reg := telemetry.NewRegistry()
+	journal := telemetry.NewJournal(0)
+	journal.SetHabitat(id)
 	m, err := icares.Simulate(icares.Options{
 		Seed:      cfg.Seed,
 		Days:      cfg.Days,
 		Tick:      cfg.Tick,
 		Faults:    cfg.Faults,
 		Telemetry: reg,
+		Journal:   journal,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("habitat %s: %w", id, err)
@@ -152,13 +164,18 @@ func newEngine(id string, cfg HabitatConfig) (*engine, error) {
 		id:      id,
 		cfg:     cfg,
 		reg:     reg,
+		journal: journal,
 		mission: m,
 		byBadge: make(map[store.BadgeID]*offload.Uploader),
 		horizon: m.Horizon(),
 	}
+	if cfg.Faults != nil {
+		e.rfWindows = cfg.Faults.Windows(faultplan.RFOutage)
+	}
 
 	d, _ := m.SupportSystem()
 	d.Instrument(reg)
+	d.AttachJournal(journal)
 	a, err := m.LiveAnalytics(d, cfg.View)
 	if err != nil {
 		return nil, fmt.Errorf("habitat %s: analytics: %w", id, err)
@@ -171,6 +188,7 @@ func newEngine(id string, cfg HabitatConfig) (*engine, error) {
 	}
 	gw.MaxHeldPerBadge = 64
 	gw.Instrument(reg)
+	gw.AttachJournal(journal, func() time.Duration { return e.now })
 	e.gateway = gw
 
 	var base offload.Transport = offload.TransportFunc(gw.Offer)
@@ -183,6 +201,7 @@ func newEngine(id string, cfg HabitatConfig) (*engine, error) {
 	for _, id := range ds.Badges() {
 		u := offload.NewUploader(id)
 		u.Instrument(reg)
+		u.AttachJournal(journal)
 		e.uploaders = append(e.uploaders, u)
 		e.byBadge[id] = u
 		for _, r := range ds.Series(id).Range(0, e.horizon) {
@@ -243,9 +262,16 @@ func (e *engine) step() int {
 		return 0
 	}
 	e.steps++
+	if e.steps == 1 {
+		e.journal.Emit(e.now, telemetry.SevInfo, "fleet", "ingest-start",
+			"habitat ingest started",
+			telemetry.Fi("records", len(e.feed)),
+			telemetry.Fi("badges", len(e.uploaders)))
+	}
 	if e.stepHook != nil {
 		e.stepHook(e.steps)
 	}
+	e.noteFaults(e.now)
 	hi := e.now + ingestStep
 	for e.pos < len(e.feed) && e.feed[e.pos].rec.Local < hi {
 		it := e.feed[e.pos]
@@ -276,6 +302,16 @@ func (e *engine) step() int {
 				e.undelivered += s.Buffered + s.Pending*u.BatchSize
 			}
 			e.done = true
+			e.journal.Emit(e.now, telemetry.SevWarn, "fleet", "ingest-undelivered",
+				"ingest gave up on records past the drain grace",
+				telemetry.Fi("undelivered", e.undelivered))
+		}
+		if e.done {
+			e.journal.Emit(e.now, telemetry.SevInfo, "fleet", "ingest-complete",
+				"habitat ingest complete",
+				telemetry.Fi("ingested", e.ingested),
+				telemetry.Fi("undelivered", e.undelivered),
+				telemetry.Fi("steps", e.steps))
 		}
 	} else if !inFlight && e.pos < len(e.feed) && e.feed[e.pos].rec.Local > hi {
 		// Idle gap (overnight, pre-deployment): jump the clock to the
@@ -283,6 +319,55 @@ func (e *engine) step() int {
 		e.now = e.feed[e.pos].rec.Local.Truncate(ingestStep)
 	}
 	return n
+}
+
+// noteFaults journals fault-plan window transitions at mission time now.
+// The offload/uplink wrappers *apply* the faults; this records the story:
+// each window's enter and exit become events on the habitat-local clock,
+// so an investigator reading the black box sees "gateway crashed here"
+// next to the refusals and backoffs it caused.
+func (e *engine) noteFaults(now time.Duration) {
+	p := e.cfg.Faults
+	if p == nil {
+		return
+	}
+	if down := p.GatewayDown(now); down != e.inGatewayCrash {
+		e.inGatewayCrash = down
+		if down {
+			e.journal.Emit(now, telemetry.SevError, "fleet", "gateway-crash",
+				"fault plan crashed the offload gateway")
+		} else {
+			e.journal.Emit(now, telemetry.SevInfo, "fleet", "gateway-restore",
+				"offload gateway back up")
+		}
+	}
+	if down := p.UplinkDown(now); down != e.inBlackout {
+		e.inBlackout = down
+		if down {
+			e.journal.Emit(now, telemetry.SevWarn, "fleet", "uplink-blackout",
+				"fault plan blacked out the mission-control uplink")
+		} else {
+			e.journal.Emit(now, telemetry.SevInfo, "fleet", "uplink-restore",
+				"mission-control uplink restored")
+		}
+	}
+	rf := false
+	for _, w := range e.rfWindows {
+		if now >= w.From && now < w.To {
+			rf = true
+			break
+		}
+	}
+	if rf != e.inRF {
+		e.inRF = rf
+		if rf {
+			e.journal.Emit(now, telemetry.SevWarn, "fleet", "rf-outage",
+				"fault plan opened an RF outage window")
+		} else {
+			e.journal.Emit(now, telemetry.SevInfo, "fleet", "rf-restore",
+				"RF outage window closed")
+		}
+	}
 }
 
 // apply feeds the staged gateway output to the daemon in release order.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -117,6 +118,8 @@ type runner struct {
 	alerts  atomic.Int64
 	failure atomic.Value // string: panic message after Failed
 
+	slo sloWindow
+
 	cPanics   *telemetry.Counter
 	cTimeouts *telemetry.Counter
 	cRejected *telemetry.Counter
@@ -126,15 +129,162 @@ type runner struct {
 // Status returns the habitat's lifecycle state.
 func (r *runner) Status() Status { return Status(r.status.Load()) }
 
+// sloOutcome classifies one worker-bound request for the SLO window.
+type sloOutcome int8
+
+const (
+	sloOK sloOutcome = iota
+	sloRejected
+	sloTimeout
+)
+
+// sloWindowSize is how many recent worker-bound requests the health
+// derivation looks at. Small on purpose: health must flip within a few
+// requests of a habitat wedging, not after a long tail drains.
+const sloWindowSize = 16
+
+// sloMinSamples is the minimum window population before the derivation
+// trusts rates; below it a habitat reports healthy (no evidence yet).
+const sloMinSamples = 4
+
+// sloWindow is a rolling record of recent request outcomes, the evidence
+// base for the derived health state. It has its own tiny mutex because
+// outcomes are recorded on caller goroutines, never the worker.
+type sloWindow struct {
+	mu   sync.Mutex
+	ring [sloWindowSize]sloOutcome
+	n    int // total recorded (ring fills at sloWindowSize)
+	pos  int
+}
+
+func (s *sloWindow) record(o sloOutcome) {
+	s.mu.Lock()
+	s.ring[s.pos] = o
+	s.pos = (s.pos + 1) % sloWindowSize
+	if s.n < sloWindowSize {
+		s.n++
+	}
+	s.mu.Unlock()
+}
+
+// stats returns (window population, rejects, timeouts).
+func (s *sloWindow) stats() (n, rejects, timeouts int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := 0; i < s.n; i++ {
+		switch s.ring[i] {
+		case sloRejected:
+			rejects++
+		case sloTimeout:
+			timeouts++
+		}
+	}
+	return s.n, rejects, timeouts
+}
+
+// Health is the derived per-habitat health verdict served by /healthz.
+type Health string
+
+// Health states, from best to worst.
+const (
+	// Healthy: lifecycle nominal and the SLO window shows no sustained
+	// deadline misses or queue rejections.
+	Healthy Health = "healthy"
+	// Degraded: the habitat answers, but a quarter or more of recent
+	// requests were rejected or timed out — backpressure is biting.
+	Degraded Health = "degraded"
+	// Wedged: the worker is not making progress — recent requests
+	// mostly miss their deadlines (with rejections piling up behind).
+	Wedged Health = "wedged"
+	// Quarantined: the habitat's ingest panicked; its state is frozen
+	// and queries are refused.
+	Quarantined Health = "quarantined"
+)
+
+// health derives the habitat's state from its lifecycle and SLO window.
+//
+// Derivation rules (documented in DESIGN.md; tests pin them):
+//
+//	quarantined  lifecycle Failed (panic), regardless of the window
+//	wedged       >= sloMinSamples samples, >= 2 deadline misses, and
+//	             misses+rejects are at least half the window — the
+//	             worker is stuck, not merely busy
+//	degraded     >= sloMinSamples samples and misses+rejects are at
+//	             least a quarter of the window
+//	healthy      otherwise (including an empty window)
+func (r *runner) health() Health {
+	if Status(r.status.Load()) == Failed {
+		return Quarantined
+	}
+	n, rejects, timeouts := r.slo.stats()
+	if n >= sloMinSamples {
+		bad := rejects + timeouts
+		if timeouts >= 2 && bad*2 >= n {
+			return Wedged
+		}
+		if bad*4 >= n {
+			return Degraded
+		}
+	}
+	return Healthy
+}
+
 // Fleet runs N isolated habitats and answers queries about them.
 type Fleet struct {
 	cfg     Config
 	reg     *telemetry.Registry
-	runners []*runner // sorted by ID
+	journal *telemetry.Journal // fleet-plane flight recorder
+	runners []*runner          // sorted by ID
 	byID    map[string]*runner
+
+	reqSeq    atomic.Uint64 // request-ID source for the HTTP middleware
+	closed    atomic.Bool
+	httpStats map[string]*routeStats // per-route middleware metrics, by route name
 
 	wg        sync.WaitGroup
 	closeOnce sync.Once
+}
+
+// routeStats caches one route's middleware metric handles. The registry
+// lookup formats a label block per call, which is too expensive for the
+// per-request path; routes are a closed set, so the handles are resolved
+// once at construction (histograms) or on each status code's first
+// appearance (counters).
+type routeStats struct {
+	reg  *telemetry.Registry
+	name string
+	hist *telemetry.Histogram
+
+	mu       sync.RWMutex
+	byStatus map[int]*telemetry.Counter
+}
+
+func newRouteStats(reg *telemetry.Registry, name string) *routeStats {
+	return &routeStats{
+		reg:      reg,
+		name:     name,
+		hist:     reg.Histogram("fleet_http_request_seconds", nil, telemetry.L("route", name)),
+		byStatus: make(map[int]*telemetry.Counter),
+	}
+}
+
+func (s *routeStats) counter(status int) *telemetry.Counter {
+	s.mu.RLock()
+	c := s.byStatus[status]
+	s.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c := s.byStatus[status]; c != nil {
+		return c
+	}
+	c = s.reg.Counter("fleet_http_requests_total",
+		telemetry.L("route", s.name),
+		telemetry.L("status", strconv.Itoa(status)))
+	s.byStatus[status] = c
+	return c
 }
 
 // New builds every habitat (simulating the missions concurrently — they
@@ -161,7 +311,17 @@ func newFleet(cfg Config) (*Fleet, error) {
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
-	f := &Fleet{cfg: cfg, reg: reg, byID: make(map[string]*runner, len(cfg.Habitats))}
+	f := &Fleet{
+		cfg:       cfg,
+		reg:       reg,
+		journal:   telemetry.NewJournal(0),
+		byID:      make(map[string]*runner, len(cfg.Habitats)),
+		httpStats: make(map[string]*routeStats),
+	}
+	for r := RouteHabitats; r <= RouteReadyz; r++ {
+		f.httpStats[routeName(r)] = newRouteStats(reg, routeName(r))
+	}
+	f.httpStats["unroutable"] = newRouteStats(reg, "unroutable")
 
 	for _, hc := range cfg.Habitats {
 		if hc.ID == "" {
@@ -261,6 +421,14 @@ func (r *runner) ingest() {
 			r.status.Store(int32(Failed))
 			r.gUp.Set(0)
 			r.cPanics.Inc()
+			// The quarantine event goes in the habitat's own black box:
+			// the journal is the part of a failed habitat that stays
+			// readable, and the cause belongs next to the events that
+			// led up to it.
+			r.eng.journal.Emit(r.eng.now, telemetry.SevError, "fleet", "quarantine",
+				"habitat ingest panicked; state quarantined",
+				telemetry.F("cause", fmt.Sprint(p)),
+				telemetry.Fi("step", r.eng.steps))
 		}
 	}()
 	n := r.eng.step()
@@ -315,13 +483,16 @@ func (r *runner) do(ctx context.Context, name string, fn func(*engine) (any, err
 	case r.jobs <- j:
 	default:
 		r.cRejected.Inc()
+		r.slo.record(sloRejected)
 		return nil, ErrBusy
 	}
 	select {
 	case res := <-j.done:
+		r.slo.record(sloOK)
 		return res.v, res.err
 	case <-ctx.Done():
 		r.cTimeouts.Inc()
+		r.slo.record(sloTimeout)
 		return nil, ErrDeadline
 	case <-r.quit:
 		return nil, ErrStopped
@@ -332,6 +503,7 @@ func (r *runner) do(ctx context.Context, name string, fn func(*engine) (any, err
 // Close fail with ErrStopped.
 func (f *Fleet) Close() {
 	f.closeOnce.Do(func() {
+		f.closed.Store(true)
 		for _, r := range f.runners {
 			close(r.quit)
 		}
@@ -496,6 +668,82 @@ func (f *Fleet) HabitatTelemetry(id string) (*telemetry.Registry, error) {
 	}
 	return r.eng.reg, nil
 }
+
+// Events reads the habitat's flight recorder. Deliberately NOT routed
+// through the worker: the journal has its own lock, so the black box of a
+// wedged or quarantined habitat stays readable — that is the point of a
+// flight recorder.
+func (f *Fleet) Events(id string, q telemetry.EventQuery) ([]telemetry.Event, error) {
+	j, err := f.HabitatJournal(id)
+	if err != nil {
+		return nil, err
+	}
+	return j.Select(q), nil
+}
+
+// HabitatJournal returns the habitat's flight recorder. Like Events, it
+// bypasses the worker so the black box stays readable after a failure.
+func (f *Fleet) HabitatJournal(id string) (*telemetry.Journal, error) {
+	r, err := f.runnerFor(id)
+	if err != nil {
+		return nil, err
+	}
+	return r.eng.journal, nil
+}
+
+// FleetEvents merges every habitat's flight recorder with the fleet-plane
+// journal into one timeline ordered by mission time (then habitat, then
+// sequence). The limit applies after the merge, keeping the newest events.
+func (f *Fleet) FleetEvents(q telemetry.EventQuery) []telemetry.Event {
+	limit := q.Limit
+	q.Limit = 0 // limit applies to the merged timeline, not per journal
+	slices := make([][]telemetry.Event, 0, len(f.runners)+1)
+	for _, r := range f.runners {
+		slices = append(slices, r.eng.journal.Select(q))
+	}
+	slices = append(slices, f.journal.Select(q))
+	merged := telemetry.MergeEvents(slices...)
+	if limit > 0 && len(merged) > limit {
+		merged = merged[len(merged)-limit:]
+	}
+	return merged
+}
+
+// Journal returns the fleet-plane flight recorder (HTTP middleware
+// events; habitat journals live with their engines).
+func (f *Fleet) Journal() *telemetry.Journal { return f.journal }
+
+// HabitatHealth is one habitat's row in the /healthz verdict.
+type HabitatHealth struct {
+	ID        string `json:"id"`
+	Health    Health `json:"health"`
+	Lifecycle string `json:"lifecycle"`
+	// Window statistics behind the verdict: recent worker-bound requests
+	// and how many were rejected at the queue or missed their deadline.
+	WindowRequests int `json:"window_requests"`
+	WindowRejected int `json:"window_rejected"`
+	WindowTimeouts int `json:"window_timeouts"`
+}
+
+// HealthReport reports every habitat's derived health (sorted by ID).
+func (f *Fleet) HealthReport() []HabitatHealth {
+	out := make([]HabitatHealth, 0, len(f.runners))
+	for _, r := range f.runners {
+		n, rejects, timeouts := r.slo.stats()
+		out = append(out, HabitatHealth{
+			ID:             r.id,
+			Health:         r.health(),
+			Lifecycle:      r.Status().String(),
+			WindowRequests: n,
+			WindowRejected: rejects,
+			WindowTimeouts: timeouts,
+		})
+	}
+	return out
+}
+
+// Ready reports whether the fleet accepts queries (false after Close).
+func (f *Fleet) Ready() bool { return !f.closed.Load() }
 
 // FleetAlert is one alert tagged with its habitat.
 type FleetAlert struct {

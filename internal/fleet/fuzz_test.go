@@ -22,10 +22,16 @@ func FuzzParseRequest(f *testing.F) {
 		{"GET", "/fleet/summary", ""},
 		{"GET", "/fleet/alerts", "limit=50"},
 		{"GET", "/fleet/telemetry", ""},
+		{"GET", "/habitats/hab-00/events", "severity=warning&limit=20"},
+		{"GET", "/fleet/events", "severity=error"},
+		{"GET", "/healthz", ""},
+		{"GET", "/readyz", ""},
 		{"POST", "/habitats", ""},
 		{"GET", "/habitats/../secret/report", ""},
 		{"GET", "//habitats///x//alerts/", "days=5-2"},
-		{"GET", "/habitats/hab-00/alerts", "limit=0&kind=&days=0-0"},
+		{"GET", "/habitats/hab-00/alerts", "days=0-0"},
+		{"GET", "/habitats/hab-00/alerts", "limit=0&kind=&days=-1"},
+		{"GET", "/habitats/hab-00/events", "severity=loud"},
 		{"GET", "/habitats/%2e%2e/alerts", "a=%zz;b=1"},
 		{"GET", "/fleet/alerts", "limit=99999999999999999999"},
 		{"\x00", "/\x00/\xff", "\xff=\x00"},
@@ -54,11 +60,12 @@ func FuzzParseRequest(f *testing.F) {
 		// A successful parse satisfies every invariant the handler
 		// relies on without re-checking.
 		switch req.Route {
-		case RouteHabitats, RouteFleetSummary, RouteFleetAlerts, RouteFleetTelemetry:
+		case RouteHabitats, RouteFleetSummary, RouteFleetAlerts, RouteFleetTelemetry,
+			RouteFleetEvents, RouteHealthz, RouteReadyz:
 			if req.Habitat != "" {
 				t.Fatalf("fleet-level route %v carries habitat %q", req.Route, req.Habitat)
 			}
-		case RouteReport, RouteAlerts, RouteTelemetry, RouteSnapshot:
+		case RouteReport, RouteAlerts, RouteTelemetry, RouteSnapshot, RouteEvents:
 			if req.Habitat == "" {
 				t.Fatalf("habitat route %v without habitat ID", req.Route)
 			}
@@ -71,11 +78,16 @@ func FuzzParseRequest(f *testing.F) {
 		if req.Limit < 1 || req.Limit > MaxLimit {
 			t.Fatalf("limit %d outside [1, %d]", req.Limit, MaxLimit)
 		}
-		if req.FromDay == 0 != (req.ToDay == 0) {
-			t.Fatalf("half-open day range: from=%d to=%d", req.FromDay, req.ToDay)
+		if !req.HasDays && (req.FromDay != 0 || req.ToDay != 0) {
+			t.Fatalf("day range without HasDays: from=%d to=%d", req.FromDay, req.ToDay)
 		}
-		if req.FromDay != 0 && (req.FromDay < 1 || req.ToDay < req.FromDay) {
+		if req.HasDays && (req.FromDay < 0 || req.ToDay < req.FromDay) {
 			t.Fatalf("malformed day range accepted: from=%d to=%d", req.FromDay, req.ToDay)
+		}
+		if req.MinSeverity != 0 {
+			if s := req.MinSeverity.String(); s == "" || len(s) > len("warning") {
+				t.Fatalf("accepted severity %d has no stable label", req.MinSeverity)
+			}
 		}
 	})
 }

@@ -6,6 +6,8 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+
+	"icares/internal/telemetry"
 )
 
 // Route identifies one API endpoint.
@@ -18,9 +20,13 @@ const (
 	RouteAlerts                          // GET /habitats/{id}/alerts
 	RouteTelemetry                       // GET /habitats/{id}/telemetry
 	RouteSnapshot                        // GET /habitats/{id}/snapshot
+	RouteEvents                          // GET /habitats/{id}/events
 	RouteFleetSummary                    // GET /fleet/summary
 	RouteFleetAlerts                     // GET /fleet/alerts
 	RouteFleetTelemetry                  // GET /fleet/telemetry
+	RouteFleetEvents                     // GET /fleet/events
+	RouteHealthz                         // GET /healthz
+	RouteReadyz                          // GET /readyz
 )
 
 // MaxLimit caps the limit query parameter: a single request can never
@@ -34,14 +40,20 @@ const DefaultLimit = 1000
 type Request struct {
 	Route   Route
 	Habitat string
-	// Kind filters alerts by kind ("" = all).
+	// Kind filters alerts (and events) by kind ("" = all).
 	Kind string
 	// Limit bounds list responses; always in [1, MaxLimit] after a
 	// successful parse.
 	Limit int
-	// FromDay/ToDay restrict alerts to mission days [FromDay, ToDay].
-	// Zero means unbounded on that side.
+	// HasDays reports whether a days filter was given; FromDay/ToDay
+	// restrict alerts to mission days [FromDay, ToDay] when it is set.
+	// Day 0 is a valid mission day, so presence is explicit rather than
+	// inferred from a nonzero value.
+	HasDays        bool
 	FromDay, ToDay int
+	// MinSeverity filters events at or above the given severity
+	// (0 = all); set by the severity query parameter.
+	MinSeverity telemetry.EventSeverity
 }
 
 // APIError is a parse or dispatch failure with its HTTP status.
@@ -79,6 +91,10 @@ func ParseRequest(method, path, rawQuery string) (Request, *APIError) {
 	switch {
 	case len(segs) == 1 && segs[0] == "habitats":
 		req.Route = RouteHabitats
+	case len(segs) == 1 && segs[0] == "healthz":
+		req.Route = RouteHealthz
+	case len(segs) == 1 && segs[0] == "readyz":
+		req.Route = RouteReadyz
 	case len(segs) == 3 && segs[0] == "habitats":
 		id, leaf := segs[1], segs[2]
 		if err := validateHabitatID(id); err != nil {
@@ -94,6 +110,8 @@ func ParseRequest(method, path, rawQuery string) (Request, *APIError) {
 			req.Route = RouteTelemetry
 		case "snapshot":
 			req.Route = RouteSnapshot
+		case "events":
+			req.Route = RouteEvents
 		default:
 			return Request{}, notFound(path)
 		}
@@ -105,6 +123,8 @@ func ParseRequest(method, path, rawQuery string) (Request, *APIError) {
 			req.Route = RouteFleetAlerts
 		case "telemetry":
 			req.Route = RouteFleetTelemetry
+		case "events":
+			req.Route = RouteFleetEvents
 		default:
 			return Request{}, notFound(path)
 		}
@@ -183,7 +203,14 @@ func (r *Request) parseQuery(rawQuery string) *APIError {
 			if perr != nil {
 				return perr
 			}
+			r.HasDays = true
 			r.FromDay, r.ToDay = from, to
+		case "severity":
+			sev, ok := telemetry.ParseSeverity(v)
+			if !ok {
+				return badRequest("severity must be debug|info|warning|error, got %q", v)
+			}
+			r.MinSeverity = sev
 		default:
 			return badRequest("unknown parameter %q", key)
 		}
@@ -191,14 +218,15 @@ func (r *Request) parseQuery(rawQuery string) *APIError {
 	return nil
 }
 
-// parseDayRange reads "N" (one day) or "A-B" (inclusive range).
+// parseDayRange reads "N" (one day) or "A-B" (inclusive range). Day 0 (the
+// pre-deployment/acclimatization day) is a valid day.
 func parseDayRange(v string) (from, to int, err *APIError) {
 	malformed := func() *APIError {
-		return badRequest("days must be N or A-B with 1 <= A <= B, got %q", v)
+		return badRequest("days must be N or A-B with 0 <= A <= B, got %q", v)
 	}
 	lo, hi, ranged := strings.Cut(v, "-")
 	a, aerr := strconv.Atoi(lo)
-	if aerr != nil || a < 1 {
+	if aerr != nil || a < 0 {
 		return 0, 0, malformed()
 	}
 	if !ranged {

@@ -3,6 +3,8 @@ package fleet
 import (
 	"net/http"
 	"testing"
+
+	"icares/internal/telemetry"
 )
 
 // TestParseRequestRoutes pins the accept side of the routing table: every
@@ -19,9 +21,13 @@ func TestParseRequestRoutes(t *testing.T) {
 		{"report", "GET", "/habitats/hab-00/report", "",
 			Request{Route: RouteReport, Habitat: "hab-00", Limit: DefaultLimit}},
 		{"alerts full query", "GET", "/habitats/hab-00/alerts", "kind=battery&limit=5&days=2-3",
-			Request{Route: RouteAlerts, Habitat: "hab-00", Kind: "battery", Limit: 5, FromDay: 2, ToDay: 3}},
+			Request{Route: RouteAlerts, Habitat: "hab-00", Kind: "battery", Limit: 5, HasDays: true, FromDay: 2, ToDay: 3}},
 		{"single day", "GET", "/habitats/hab-00/alerts", "days=4",
-			Request{Route: RouteAlerts, Habitat: "hab-00", Limit: DefaultLimit, FromDay: 4, ToDay: 4}},
+			Request{Route: RouteAlerts, Habitat: "hab-00", Limit: DefaultLimit, HasDays: true, FromDay: 4, ToDay: 4}},
+		{"day zero", "GET", "/habitats/hab-00/alerts", "days=0",
+			Request{Route: RouteAlerts, Habitat: "hab-00", Limit: DefaultLimit, HasDays: true, FromDay: 0, ToDay: 0}},
+		{"day zero range", "GET", "/habitats/hab-00/alerts", "days=0-2",
+			Request{Route: RouteAlerts, Habitat: "hab-00", Limit: DefaultLimit, HasDays: true, FromDay: 0, ToDay: 2}},
 		{"limit capped", "GET", "/habitats/hab-00/alerts", "limit=999999",
 			Request{Route: RouteAlerts, Habitat: "hab-00", Limit: MaxLimit}},
 		{"messy slashes", "GET", "//habitats///hab_1.x//telemetry/", "",
@@ -32,6 +38,16 @@ func TestParseRequestRoutes(t *testing.T) {
 		{"fleet alerts", "GET", "/fleet/alerts", "limit=50",
 			Request{Route: RouteFleetAlerts, Limit: 50}},
 		{"fleet telemetry", "GET", "/fleet/telemetry", "", Request{Route: RouteFleetTelemetry, Limit: DefaultLimit}},
+		{"events", "GET", "/habitats/hab-00/events", "severity=warning&limit=20",
+			Request{Route: RouteEvents, Habitat: "hab-00", Limit: 20, MinSeverity: telemetry.SevWarn}},
+		{"events warn alias", "GET", "/habitats/hab-00/events", "severity=warn",
+			Request{Route: RouteEvents, Habitat: "hab-00", Limit: DefaultLimit, MinSeverity: telemetry.SevWarn}},
+		{"events kind", "GET", "/habitats/hab-00/events", "kind=gateway-crash",
+			Request{Route: RouteEvents, Habitat: "hab-00", Kind: "gateway-crash", Limit: DefaultLimit}},
+		{"fleet events", "GET", "/fleet/events", "severity=error",
+			Request{Route: RouteFleetEvents, Limit: DefaultLimit, MinSeverity: telemetry.SevError}},
+		{"healthz", "GET", "/healthz", "", Request{Route: RouteHealthz, Limit: DefaultLimit}},
+		{"readyz", "GET", "/readyz", "", Request{Route: RouteReadyz, Limit: DefaultLimit}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -72,8 +88,10 @@ func TestParseRequestRejects(t *testing.T) {
 		{"empty kind", "GET", "/habitats/hab-00/alerts", "kind=", http.StatusBadRequest},
 		{"duplicate kind", "GET", "/habitats/hab-00/alerts", "kind=a&kind=b", http.StatusBadRequest},
 		{"days reversed", "GET", "/habitats/hab-00/alerts", "days=5-2", http.StatusBadRequest},
-		{"days zero", "GET", "/habitats/hab-00/alerts", "days=0", http.StatusBadRequest},
+		{"days negative", "GET", "/habitats/hab-00/alerts", "days=-1", http.StatusBadRequest},
 		{"days word", "GET", "/habitats/hab-00/alerts", "days=mon-fri", http.StatusBadRequest},
+		{"bad severity", "GET", "/habitats/hab-00/events", "severity=loud", http.StatusBadRequest},
+		{"empty severity", "GET", "/fleet/events", "severity=", http.StatusBadRequest},
 		{"unknown param", "GET", "/habitats/hab-00/alerts", "limt=5", http.StatusBadRequest},
 		{"bad escape", "GET", "/habitats/hab-00/alerts", "kind=%zz", http.StatusBadRequest},
 	}

@@ -59,6 +59,9 @@ type Config struct {
 	// Tracer optionally receives one span per mission day plus one for the
 	// whole run, on the simulated clock. Nil disables tracing.
 	Tracer *telemetry.Tracer
+	// Journal optionally receives flight-recorder events for fault-plan
+	// badge death/reboot transitions. Nil disables journaling.
+	Journal *telemetry.Journal
 }
 
 // withDefaults fills zero fields.
@@ -301,10 +304,14 @@ func (s *simRun) applyFaults(now time.Duration) {
 			s.planKilled[id] = true
 			s.cFaultDown.Inc()
 			b.Fail()
+			s.cfg.Journal.Emit(now, telemetry.SevWarn, "mission", "badge-death",
+				"fault plan killed badge", telemetry.Fu("badge", uint64(id)))
 		case !down && s.planKilled[id]:
 			s.planKilled[id] = false
 			s.cFaultUp.Inc()
 			b.Revive()
+			s.cfg.Journal.Emit(now, telemetry.SevInfo, "mission", "badge-reboot",
+				"fault plan revived badge", telemetry.Fu("badge", uint64(id)))
 		}
 	}
 }

@@ -99,6 +99,10 @@ type Gateway struct {
 	// Telemetry mirrors (nil until Instrument; nil handles are no-ops).
 	cBatches, cDuplicates, cRefused *telemetry.Counter
 	gHeldBatches, gHeldRecords      *telemetry.Gauge
+
+	// Flight recorder (nil until AttachJournal; a nil journal is a no-op).
+	journal *telemetry.Journal
+	clock   func() time.Duration
 }
 
 // GatewayStats is one consistent view of a gateway's receive counters:
@@ -149,6 +153,25 @@ func (g *Gateway) Instrument(reg *telemetry.Registry) {
 	g.gHeldRecords = reg.Gauge("offload_gateway_held_records")
 }
 
+// AttachJournal wires the gateway into a flight recorder: refused batches
+// and crash-restores become journal events, timestamped by clock (the
+// caller's sim-time source; nil clock stamps zero). Call before concurrent
+// use begins.
+func (g *Gateway) AttachJournal(j *telemetry.Journal, clock func() time.Duration) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.journal = j
+	g.clock = clock
+}
+
+// journalAt runs under g.mu and returns the event timestamp.
+func (g *Gateway) journalAt() time.Duration {
+	if g.clock == nil {
+		return 0
+	}
+	return g.clock()
+}
+
 // Offer processes one received batch and returns the acknowledgement. A
 // false return means the gateway has not (yet) taken durable
 // responsibility for the batch — it is out of order (buffered in volatile
@@ -183,6 +206,10 @@ func (g *Gateway) accept(b Batch) bool {
 		if g.MaxHeldPerBadge > 0 && len(m) >= g.MaxHeldPerBadge {
 			g.refused++ // held full: refuse so the sender retries later
 			g.cRefused.Inc()
+			g.journal.Emit(g.journalAt(), telemetry.SevWarn, "offload", "offload-refused",
+				"out-of-order batch refused at held cap",
+				telemetry.Fu("badge", uint64(b.Badge)), telemetry.Fu("seq", b.Seq),
+				telemetry.Fi("held", len(m)))
 			return false
 		}
 		m[b.Seq] = append([]record.Record{}, b.Records...)
@@ -285,6 +312,11 @@ func (g *Gateway) Restore(s Snapshot) {
 	for id, m := range s.Marks {
 		g.mark[id] = m
 	}
+	g.journal.Emit(g.journalAt(), telemetry.SevInfo, "offload", "gateway-restore",
+		"gateway restored from durable snapshot, volatile held dropped",
+		telemetry.Fi("held_batches_dropped", g.heldBatches),
+		telemetry.Fi("held_records_dropped", g.heldRecords),
+		telemetry.Fi("badges", len(s.Marks)))
 	g.held = make(map[store.BadgeID]map[uint64][]record.Record)
 	g.holdDelta(-g.heldBatches, -g.heldRecords)
 }
@@ -320,6 +352,9 @@ type Uploader struct {
 	// Telemetry mirrors (nil until Instrument).
 	cSent, cRetransmits, cSkipped       *telemetry.Counter
 	gBuffered, gPending, gBackoffStreak *telemetry.Gauge
+
+	// Flight recorder (nil until AttachJournal).
+	journal *telemetry.Journal
 }
 
 // UploaderStats is one consistent view of an uploader's send state.
@@ -364,6 +399,15 @@ func (u *Uploader) Instrument(reg *telemetry.Registry) {
 	u.gBuffered = reg.Gauge("offload_uploader_buffered", badge)
 	u.gPending = reg.Gauge("offload_uploader_pending", badge)
 	u.gBackoffStreak = reg.Gauge("offload_uploader_backoff_streak", badge)
+}
+
+// AttachJournal wires the uploader into a flight recorder: backoff
+// enter/exit transitions become journal events, timestamped with the
+// FlushAt clock. Call before concurrent use begins.
+func (u *Uploader) AttachJournal(j *telemetry.Journal) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.journal = j
 }
 
 // Enqueue buffers one record for upload.
@@ -431,10 +475,22 @@ func (u *Uploader) FlushAt(now time.Duration, t Transport) int {
 	attempted := u.sent + u.retransmits - attemptsBefore
 	switch {
 	case acked > 0:
+		if u.failStreak > 0 {
+			u.journal.Emit(now, telemetry.SevInfo, "offload", "backoff-exit",
+				"uploader acknowledged again, backoff reset",
+				telemetry.Fu("badge", uint64(u.badge)),
+				telemetry.Fi("fail_streak", u.failStreak))
+		}
 		u.failStreak = 0
 		u.backoffUntil = 0
 	case attempted > 0:
 		delay := u.BackoffBase << u.failStreak
+		if u.failStreak == 0 {
+			u.journal.Emit(now, telemetry.SevWarn, "offload", "backoff-enter",
+				"flush round fully failed, entering backoff",
+				telemetry.Fu("badge", uint64(u.badge)),
+				telemetry.F("delay", delay.String()))
+		}
 		if u.failStreak < 62 {
 			u.failStreak++
 		}

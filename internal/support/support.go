@@ -91,6 +91,9 @@ type Daemon struct {
 	cSweeps              *telemetry.Counter
 	cAlertsByKind        map[string]*telemetry.Counter
 	gDetectors, gKnown   *telemetry.Gauge
+
+	// Flight recorder (nil until AttachJournal).
+	journal *telemetry.Journal
 }
 
 // NewDaemon creates a daemon with no detectors registered.
@@ -130,6 +133,23 @@ func (d *Daemon) Instrument(reg *telemetry.Registry) {
 // AttachAnalytics routes every ingested record (post privacy scrub) into
 // the live sociometric analytics. Attach before ingestion starts.
 func (d *Daemon) AttachAnalytics(a *Analytics) { d.analytics = a }
+
+// AttachJournal mirrors every raised alert into a flight recorder, so the
+// black box interleaves crew-facing alerts with the system-plane events
+// around them. Attach before ingestion starts.
+func (d *Daemon) AttachJournal(j *telemetry.Journal) { d.journal = j }
+
+// journalSeverity maps alert severities onto the journal's scale.
+func journalSeverity(s Severity) telemetry.EventSeverity {
+	switch s {
+	case Critical:
+		return telemetry.SevError
+	case Warning:
+		return telemetry.SevWarn
+	default:
+		return telemetry.SevInfo
+	}
+}
 
 // Analytics returns the attached live analytics, nil if none.
 func (d *Daemon) Analytics() *Analytics { return d.analytics }
@@ -172,6 +192,8 @@ func (d *Daemon) raise(alerts []Alert) {
 			}
 			c.Inc()
 		}
+		d.journal.Emit(a.At, journalSeverity(a.Severity), "support", "alert", a.Message,
+			telemetry.F("alert_kind", a.Kind), telemetry.F("subject", a.Subject))
 		for _, fn := range d.subs {
 			fn(a)
 		}

@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkJournalAppend measures flight-recorder append throughput with
+// ring eviction in steady state (capacity far below b.N).
+func BenchmarkJournalAppend(b *testing.B) {
+	j := NewJournal(DefaultJournalCapacity)
+	start := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.Emit(time.Duration(i)*time.Second, SevInfo, "bench", "tick", "t", F("k", "v"))
+	}
+	b.StopTimer()
+	if sec := time.Since(start).Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "events/s")
+	}
+}
+
+// BenchmarkJournalAppendParallel hammers one journal from all procs — the
+// contention profile of a fleet under chaos.
+func BenchmarkJournalAppendParallel(b *testing.B) {
+	j := NewJournal(DefaultJournalCapacity)
+	start := time.Now()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			j.Emit(time.Second, SevInfo, "bench", "tick", "t")
+		}
+	})
+	b.StopTimer()
+	if sec := time.Since(start).Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "events/s")
+	}
+}
+
+// BenchmarkHistogramObserve pins the single-goroutine Observe cost.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) / 10000)
+	}
+}
+
+// BenchmarkHistogramObserveParallel shows the win from moving the bucket
+// search out of the critical section: all procs observe into one histogram
+// and only the three counter updates serialize.
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", nil)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			h.Observe(float64(i%1000) / 10000)
+			i++
+		}
+	})
+}
+
+// BenchmarkRegistryWrite measures a realistic scrape: a registry shaped
+// like one habitat's (counters + gauges + histograms, labelled), reporting
+// the exposition size so the bench lane tracks scrape weight over time.
+func BenchmarkRegistryWrite(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 16; i++ {
+		lbl := L("badge", string(rune('a'+i)))
+		r.Counter("offload_batches_total", lbl).Add(uint64(i) * 7)
+		r.Gauge("offload_held", lbl).Set(float64(i))
+		h := r.Histogram("stage_seconds", nil, lbl)
+		for k := 0; k < 32; k++ {
+			h.Observe(float64(k) / 100)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.String()
+	}
+	b.StopTimer()
+	// After ResetTimer, or the harness discards the metric with the timer.
+	b.ReportMetric(float64(len(r.String())), "exposition_bytes")
+}

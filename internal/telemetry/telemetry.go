@@ -130,8 +130,11 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
-	h.mu.Lock()
+	// bounds are frozen at construction and published happens-before via
+	// the registry lock, so the bucket search is safe outside the mutex —
+	// the critical section is just the three counter updates.
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.mu.Lock()
 	h.counts[i]++
 	h.sum += v
 	h.count++
@@ -276,8 +279,24 @@ func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Hi
 
 // point is one exposition line: a fully-labelled name and its value text.
 type point struct {
+	fam  string // metric family name, for # TYPE grouping
+	kind metricKind
 	key  string // sort key: name + label block (+ synthetic suffixes)
 	line string
+}
+
+// typeName renders the metric kind for # TYPE comment lines.
+func (k metricKind) typeName() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
 }
 
 // fnum formats a float deterministically.
@@ -303,11 +322,13 @@ func (r *Registry) snapshot() []point {
 		switch e.kind {
 		case kindCounter:
 			pts = append(pts, point{
+				fam: e.name, kind: e.kind,
 				key:  e.name + block,
 				line: fmt.Sprintf("%s%s %d", e.name, block, e.c.Value()),
 			})
 		case kindGauge:
 			pts = append(pts, point{
+				fam: e.name, kind: e.kind,
 				key:  e.name + block,
 				line: fmt.Sprintf("%s%s %s", e.name, block, fnum(e.g.Value())),
 			})
@@ -322,21 +343,32 @@ func (r *Registry) snapshot() []point {
 				}
 				leBlock := mergeLabel(block, "le", le)
 				pts = append(pts, point{
+					fam: e.name, kind: e.kind,
 					key:  fmt.Sprintf("%s_bucket%s~%03d", e.name, block, i),
 					line: fmt.Sprintf("%s_bucket%s %d", e.name, leBlock, cum),
 				})
 			}
 			pts = append(pts, point{
+				fam: e.name, kind: e.kind,
 				key:  e.name + "_sum" + block,
 				line: fmt.Sprintf("%s_sum%s %s", e.name, block, fnum(s.Sum)),
 			})
 			pts = append(pts, point{
+				fam: e.name, kind: e.kind,
 				key:  e.name + "_count" + block,
 				line: fmt.Sprintf("%s_count%s %d", e.name, block, s.Count),
 			})
 		}
 	}
-	sort.Slice(pts, func(i, j int) bool { return pts[i].key < pts[j].key })
+	// Sort by family first so each family's samples are contiguous (the
+	// Prometheus text format requires it and # TYPE headers rely on it),
+	// then by key for the stable within-family order.
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].fam != pts[j].fam {
+			return pts[i].fam < pts[j].fam
+		}
+		return pts[i].key < pts[j].key
+	})
 	return pts
 }
 
@@ -352,10 +384,19 @@ func mergeLabel(block, name, value string) string {
 
 // Write emits the text exposition of every registered metric, one line per
 // sample, deterministically ordered (sorted by name, then labels; histogram
-// buckets in bound order). Two writes with no intervening metric updates
-// produce byte-identical output.
+// buckets in bound order), with a `# TYPE name kind` header before each
+// metric family so real Prometheus scrapers ingest the endpoints cleanly.
+// Two writes with no intervening metric updates produce byte-identical
+// output.
 func (r *Registry) Write(w io.Writer) error {
+	prevFam := ""
 	for _, p := range r.snapshot() {
+		if p.fam != prevFam {
+			prevFam = p.fam
+			if _, err := io.WriteString(w, "# TYPE "+p.fam+" "+p.kind.typeName()+"\n"); err != nil {
+				return err
+			}
+		}
 		if _, err := io.WriteString(w, p.line+"\n"); err != nil {
 			return err
 		}

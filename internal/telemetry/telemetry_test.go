@@ -93,9 +93,9 @@ func TestSnapshotDeterminism(t *testing.T) {
 	}
 }
 
-// TestExpositionGolden pins the text format end to end: names sorted,
-// labels sorted and quoted, cumulative buckets with le labels, _sum and
-// _count lines.
+// TestExpositionGolden pins the text format end to end: # TYPE headers,
+// names sorted, labels sorted and quoted, cumulative buckets with le
+// labels, _sum and _count lines.
 func TestExpositionGolden(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("offload_batches_total", L("badge", "3")).Add(12)
@@ -107,13 +107,16 @@ func TestExpositionGolden(t *testing.T) {
 	h.Observe(0.5)
 
 	want := strings.Join([]string{
+		`# TYPE offload_batches_total counter`,
 		`offload_batches_total{badge="1"} 7`,
 		`offload_batches_total{badge="3"} 12`,
+		`# TYPE stage_seconds histogram`,
 		`stage_seconds_bucket{stage="track",le="0.01"} 1`,
 		`stage_seconds_bucket{stage="track",le="0.1"} 2`,
 		`stage_seconds_bucket{stage="track",le="+Inf"} 3`,
 		`stage_seconds_count{stage="track"} 3`,
 		`stage_seconds_sum{stage="track"} 0.555`,
+		`# TYPE uplink_pending gauge`,
 		`uplink_pending{dst="habitat"} 2`,
 	}, "\n") + "\n"
 	if got := r.String(); got != want {

@@ -128,6 +128,9 @@ type Link struct {
 	gPending          map[Endpoint]*telemetry.Gauge
 	cDeferrals        *telemetry.Counter
 	hDefer            *telemetry.Histogram
+
+	// Flight recorder (nil until AttachJournal).
+	journal *telemetry.Journal
 }
 
 // DeferBuckets is the histogram layout for blackout deferrals in seconds
@@ -187,6 +190,16 @@ func (l *Link) Instrument(reg *telemetry.Registry) {
 	}
 	l.cDeferrals = reg.Counter("uplink_blackout_deferrals_total")
 	l.hDefer = reg.Histogram("uplink_blackout_defer_seconds", DeferBuckets)
+}
+
+// AttachJournal wires the link into a flight recorder: each send a
+// blackout window defers becomes a journal event (stamped with the send's
+// mission time), recording when the window lifts and how long the message
+// waited. Call before concurrent use begins.
+func (l *Link) AttachJournal(j *telemetry.Journal) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.journal = j
 }
 
 // StatsSnapshot returns every link counter from a single instant.
@@ -285,6 +298,12 @@ func (l *Link) Send(now time.Duration, msg Message) (Message, error) {
 		l.deferredTotal += deferred
 		l.cDeferrals.Inc()
 		l.hDefer.Observe(deferred.Seconds())
+		l.journal.Emit(now, telemetry.SevWarn, "uplink", "blackout-deferral",
+			"send deferred by blackout window",
+			telemetry.F("from", msg.From.String()),
+			telemetry.F("topic", msg.Topic),
+			telemetry.F("deferred", deferred.String()),
+			telemetry.F("clears_at", clear.String()))
 	}
 	txStart = clear
 	var txTime time.Duration
