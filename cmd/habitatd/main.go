@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	habitatd [-seed N] [-days N] [-tick D] [-max N] [-metrics] [-journal FILE] [-debug-addr HOST:PORT]
+//	habitatd [-seed N] [-days N] [-tick D] [-max N] [-metrics] [-segdir DIR] [-journal FILE] [-debug-addr HOST:PORT]
 //	habitatd -fleet N [-seed N] [-days N] [-tick D] [-addr HOST:PORT] [-journal FILE] [-debug-addr HOST:PORT]
 package main
 
@@ -30,6 +30,7 @@ import (
 	"icares"
 	"icares/internal/fleet"
 	"icares/internal/simtime"
+	"icares/internal/store"
 	"icares/internal/support"
 	"icares/internal/telemetry"
 	"icares/internal/uplink"
@@ -54,6 +55,7 @@ func run(ctx context.Context, args []string) error {
 	fleetN := fs.Int("fleet", 0, "run N habitats as a fleet and serve the query API (0 = single-habitat replay)")
 	addr := fs.String("addr", "localhost:8080", "fleet API listen address (with -fleet)")
 	debugAddr := fs.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060); keeps a single-habitat run alive afterwards")
+	segdir := fs.String("segdir", "", "archive the mission dataset as compressed .seg segment files to this directory after a single-habitat run")
 	journalPath := fs.String("journal", "", "dump the flight-recorder journal as JSON Lines to this file on exit (\"-\" for stdout); fleet mode dumps the merged fleet timeline")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -123,6 +125,20 @@ func run(ctx context.Context, args []string) error {
 	demoConsensus(m, reg)
 	demoDay12(reg)
 
+	if *segdir != "" {
+		ds := m.Result().Dataset
+		if err := ds.SaveSegments(*segdir); err != nil {
+			return err
+		}
+		ss, _, err := store.OpenSegments(*segdir)
+		if err != nil {
+			return err
+		}
+		onDisk := ss.BytesOnDisk()
+		ss.Close()
+		fmt.Printf("\ndataset archived to %s: %.1f MiB on disk (%.2fx over framed logs)\n",
+			*segdir, float64(onDisk)/(1<<20), float64(ds.EncodedBytes())/float64(onDisk))
+	}
 	if *metrics {
 		fmt.Println("\ntelemetry:")
 		if err := reg.Write(os.Stdout); err != nil {

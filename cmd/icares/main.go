@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	icares [-seed N] [-days N] [-out DIR] [-metrics] [-chaos] [-journal FILE]
+//	icares [-seed N] [-days N] [-out DIR] [-segout DIR] [-metrics] [-chaos] [-journal FILE]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 	"icares/internal/faultplan"
 	"icares/internal/record"
 	"icares/internal/simtime"
+	"icares/internal/store"
 	"icares/internal/telemetry"
 )
 
@@ -32,6 +33,7 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 42, "simulation seed")
 	days := fs.Int("days", 14, "mission length in days")
 	out := fs.String("out", "", "directory to write per-badge .icr log files (optional)")
+	segout := fs.String("segout", "", "directory to write per-badge compressed .seg segment files (optional)")
 	metrics := fs.Bool("metrics", false, "dump the telemetry registry and sim-clock spans after the run")
 	chaos := fs.Bool("chaos", false, "subject the mission to the seeded chaos fault plan")
 	journalPath := fs.String("journal", "", "dump the mission flight-recorder journal as JSON Lines to this file (\"-\" for stdout)")
@@ -96,6 +98,21 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("\ndataset written to %s\n", *out)
+	}
+	if *segout != "" {
+		if err := res.Dataset.SaveSegments(*segout); err != nil {
+			return err
+		}
+		// Reopen out-of-core to report the ratio actually on disk, not an
+		// estimate — this is the persistence path a real pull would use.
+		ss, _, err := store.OpenSegments(*segout)
+		if err != nil {
+			return err
+		}
+		onDisk := ss.BytesOnDisk()
+		ss.Close()
+		fmt.Printf("\nsegments written to %s: %.1f MiB on disk (%.2fx over framed logs)\n",
+			*segout, float64(onDisk)/(1<<20), float64(res.Dataset.EncodedBytes())/float64(onDisk))
 	}
 	if *metrics {
 		fmt.Println("\ntelemetry:")

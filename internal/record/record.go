@@ -148,47 +148,60 @@ func appendI16(b []byte, v int16) []byte {
 	return appendU16(b, uint16(v))
 }
 
+// AppendBody appends only the kind-specific body of r — no kind byte, no
+// timestamp, no framing. It is the columnar building block of the segment
+// format, where kind and timestamp live in separate streams; AppendFrame
+// composes it into the framed on-badge encoding. It fails exactly when
+// AppendFrame fails: on an unknown kind.
+func AppendBody(dst []byte, r Record) ([]byte, error) {
+	switch r.Kind {
+	case KindAccel:
+		dst = appendI16(dst, r.AX)
+		dst = appendI16(dst, r.AY)
+		dst = appendI16(dst, r.AZ)
+	case KindMic:
+		var flag byte
+		if r.SpeechDetected {
+			flag = 1
+		}
+		dst = append(dst, flag)
+		dst = appendF32(dst, r.LoudnessDB)
+		dst = appendF32(dst, r.FundamentalHz)
+		dst = appendF32(dst, r.SpeechFraction)
+	case KindBeacon, KindNeighbor:
+		dst = appendU16(dst, r.PeerID)
+		dst = appendF32(dst, r.RSSI)
+	case KindIR:
+		dst = appendU16(dst, r.PeerID)
+	case KindEnv:
+		dst = appendF32(dst, r.TempC)
+		dst = appendF32(dst, r.PressHPa)
+		dst = appendF32(dst, r.LightLux)
+	case KindWear:
+		var flag byte
+		if r.Worn {
+			flag = 1
+		}
+		dst = append(dst, flag)
+	case KindSync:
+		dst = appendUvarint(dst, uint64(r.RefTime))
+	case KindBattery:
+		dst = appendF32(dst, r.BatteryPct)
+	default:
+		return dst, fmt.Errorf("%w: %d", ErrUnknownKind, r.Kind)
+	}
+	return dst, nil
+}
+
 // AppendFrame encodes r and appends the frame to dst, returning the
 // extended slice.
 func AppendFrame(dst []byte, r Record) ([]byte, error) {
 	payload := make([]byte, 0, 48)
 	payload = append(payload, byte(r.Kind))
 	payload = appendUvarint(payload, uint64(r.Local))
-	switch r.Kind {
-	case KindAccel:
-		payload = appendI16(payload, r.AX)
-		payload = appendI16(payload, r.AY)
-		payload = appendI16(payload, r.AZ)
-	case KindMic:
-		var flag byte
-		if r.SpeechDetected {
-			flag = 1
-		}
-		payload = append(payload, flag)
-		payload = appendF32(payload, r.LoudnessDB)
-		payload = appendF32(payload, r.FundamentalHz)
-		payload = appendF32(payload, r.SpeechFraction)
-	case KindBeacon, KindNeighbor:
-		payload = appendU16(payload, r.PeerID)
-		payload = appendF32(payload, r.RSSI)
-	case KindIR:
-		payload = appendU16(payload, r.PeerID)
-	case KindEnv:
-		payload = appendF32(payload, r.TempC)
-		payload = appendF32(payload, r.PressHPa)
-		payload = appendF32(payload, r.LightLux)
-	case KindWear:
-		var flag byte
-		if r.Worn {
-			flag = 1
-		}
-		payload = append(payload, flag)
-	case KindSync:
-		payload = appendUvarint(payload, uint64(r.RefTime))
-	case KindBattery:
-		payload = appendF32(payload, r.BatteryPct)
-	default:
-		return dst, fmt.Errorf("%w: %d", ErrUnknownKind, r.Kind)
+	payload, err := AppendBody(payload, r)
+	if err != nil {
+		return dst, err
 	}
 
 	dst = appendUvarint(dst, uint64(len(payload)))
@@ -288,6 +301,23 @@ func decodePayload(payload []byte) (Record, error) {
 	}
 	r.Local = time.Duration(ts)
 	body := payload[1+n:]
+	used, err := DecodeBody(&r, body)
+	if err != nil {
+		return Record{}, err
+	}
+	if used != len(body) {
+		return Record{}, ErrCorrupt
+	}
+	return r, nil
+}
+
+// DecodeBody decodes the kind-specific body at the front of buf into r,
+// which must already carry the Kind (and usually the timestamp — the body
+// never does). It returns the number of bytes consumed, so bodies can be
+// read back out of a concatenated column. Errors mirror decodePayload:
+// ErrCorrupt for short bodies, ErrUnknownKind for unrecognized kinds.
+func DecodeBody(r *Record, buf []byte) (int, error) {
+	body := buf
 
 	readU16 := func() (uint16, bool) {
 		if len(body) < 2 {
@@ -353,20 +383,17 @@ func decodePayload(payload []byte) (Record, error) {
 	case KindSync:
 		rt, m := binary.Uvarint(body)
 		if m <= 0 {
-			return Record{}, ErrCorrupt
+			return 0, ErrCorrupt
 		}
 		body = body[m:]
 		r.RefTime = time.Duration(rt)
 	case KindBattery:
 		r.BatteryPct, ok = readF32()
 	default:
-		return Record{}, fmt.Errorf("%w: %d", ErrUnknownKind, r.Kind)
+		return 0, fmt.Errorf("%w: %d", ErrUnknownKind, r.Kind)
 	}
 	if !ok {
-		return Record{}, ErrCorrupt
+		return 0, ErrCorrupt
 	}
-	if len(body) != 0 {
-		return Record{}, ErrCorrupt
-	}
-	return r, nil
+	return len(buf) - len(body), nil
 }

@@ -72,26 +72,62 @@ func (d *Dataset) Save(dir string) error {
 	return nil
 }
 
-func saveOne(dir string, id BadgeID, s *Series) (err error) {
-	f, err := os.Create(filepath.Join(dir, logFileName(id)))
+func saveOne(dir string, id BadgeID, s *Series) error {
+	err := atomicWrite(dir, logFileName(id), func(f *os.File) error {
+		lw, err := record.NewLogWriter(f, uint16(id))
+		if err != nil {
+			return fmt.Errorf("header: %w", err)
+		}
+		for _, r := range s.All() {
+			if err := lw.Append(r); err != nil {
+				return fmt.Errorf("append: %w", err)
+			}
+		}
+		return lw.Flush()
+	})
 	if err != nil {
 		return fmt.Errorf("save badge %d: %w", id, err)
 	}
+	return nil
+}
+
+// atomicWrite writes dir/name crash-safely: the payload goes to a
+// temporary file in the same directory, is fsynced, and only then renamed
+// over the final path — so a crash (or write error) mid-save leaves any
+// previous good file untouched instead of a truncated ruin. The directory
+// itself is synced best-effort after the rename so the new name is durable
+// too.
+func atomicWrite(dir, name string, write func(f *os.File) error) error {
+	tmp, err := os.CreateTemp(dir, name+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	committed := false
 	defer func() {
-		if cerr := f.Close(); cerr != nil && err == nil {
-			err = fmt.Errorf("close badge %d: %w", id, cerr)
+		if !committed {
+			tmp.Close()
+			os.Remove(tmpName)
 		}
 	}()
-	lw, err := record.NewLogWriter(f, uint16(id))
-	if err != nil {
-		return fmt.Errorf("badge %d header: %w", id, err)
+	if err := write(tmp); err != nil {
+		return err
 	}
-	for _, r := range s.All() {
-		if err := lw.Append(r); err != nil {
-			return fmt.Errorf("badge %d append: %w", id, err)
-		}
+	if err := tmp.Sync(); err != nil {
+		return err
 	}
-	return lw.Flush()
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, name)); err != nil {
+		return err
+	}
+	committed = true
+	if df, err := os.Open(dir); err == nil {
+		df.Sync()
+		df.Close()
+	}
+	return nil
 }
 
 // BadgeLoadStatus describes how one badge log loaded.

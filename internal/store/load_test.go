@@ -214,3 +214,92 @@ func TestLoadManyBadgesParallel(t *testing.T) {
 		}
 	}
 }
+
+// A failed save must not destroy the previous good file: Save writes to a
+// temp file and renames only on success, so an error mid-write (here, a
+// record no codec exists for, standing in for a crash or full disk) leaves
+// the old bytes untouched and loadable.
+func TestSaveFailureKeepsOldFile(t *testing.T) {
+	dir, n := saveTwoBadges(t)
+
+	bad := NewDataset()
+	s := bad.Series(1)
+	for i := 0; i < 10; i++ {
+		s.Append(record.Record{Local: time.Duration(i) * time.Second, Kind: record.KindBeacon})
+	}
+	s.Append(record.Record{Local: 11 * time.Second, Kind: record.Kind(200)})
+	if err := bad.Save(dir); err == nil {
+		t.Fatal("Save of unencodable record should fail")
+	}
+
+	// No temp litter left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".icr" {
+			t.Errorf("leftover temp file %q", e.Name())
+		}
+	}
+
+	// The original data survives in full.
+	d, rep, err := LoadWithReport(dir)
+	if err != nil {
+		t.Fatalf("load after failed save: %v", err)
+	}
+	if !rep.Clean() {
+		t.Errorf("report not clean after failed save: %+v", rep)
+	}
+	if got := d.Series(1).Len(); got != n {
+		t.Errorf("badge 1 records = %d, want %d", got, n)
+	}
+}
+
+// SaveSegments shares the same atomic write path; a mid-write failure must
+// leave a previous segment intact.
+func TestSaveSegmentsFailureKeepsOldFile(t *testing.T) {
+	dir, n := saveTwoBadgesSegments(t)
+
+	bad := NewDataset()
+	s := bad.Series(1)
+	s.Append(record.Record{Local: time.Second, Kind: record.Kind(200)})
+	if err := bad.SaveSegments(dir); err == nil {
+		t.Fatal("SaveSegments of unencodable record should fail")
+	}
+
+	ss, rep, err := OpenSegments(dir)
+	if err != nil {
+		t.Fatalf("open after failed save: %v", err)
+	}
+	defer ss.Close()
+	if !rep.Clean() {
+		t.Errorf("report not clean after failed save: %+v", rep)
+	}
+	if got := ss.Series(1).Len(); got != n {
+		t.Errorf("badge 1 records = %d, want %d", got, n)
+	}
+}
+
+// saveTwoBadgesSegments mirrors saveTwoBadges for the segment form.
+func saveTwoBadgesSegments(t *testing.T) (string, int) {
+	t.Helper()
+	dir := t.TempDir()
+	d := NewDataset()
+	const n = 40
+	for id := BadgeID(1); id <= 2; id++ {
+		s := d.Series(id)
+		for i := 0; i < n; i++ {
+			s.Append(record.Record{
+				Local:  time.Duration(i) * time.Second,
+				Kind:   record.KindBeacon,
+				PeerID: uint16(id),
+				RSSI:   -60,
+			})
+		}
+	}
+	if err := d.SaveSegments(dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir, n
+}

@@ -1,0 +1,252 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"icares/internal/record"
+	"icares/internal/segment"
+)
+
+// View is the read contract a sociometric query runs against: the
+// in-memory Series and the out-of-core segment.Reader both satisfy it, so
+// analyses can be pointed at either a resident dataset or a reopened
+// segment directory without caring which.
+type View interface {
+	All() []record.Record
+	Range(from, to time.Duration) []record.Record
+	Kind(k record.Kind) []record.Record
+	RangeKind(from, to time.Duration, k record.Kind) []record.Record
+	Len() int
+	First() (record.Record, bool)
+	Last() (record.Record, bool)
+}
+
+var (
+	_ View = (*Series)(nil)
+	_ View = (*segment.Reader)(nil)
+)
+
+// segFileName returns the on-disk segment name of a badge.
+func segFileName(id BadgeID) string {
+	return fmt.Sprintf("badge-%03d.seg", id)
+}
+
+// SaveSegments writes the dataset as one compressed, immutable segment
+// file per badge into dir — the persistent form of the sorted-run layout,
+// readable out-of-core with OpenSegments. Files are written atomically
+// (temp + fsync + rename) by the same bounded worker pool as Save.
+func (d *Dataset) SaveSegments(dir string) error {
+	return d.saveSegments(dir, 0)
+}
+
+// saveSegments is SaveSegments with an explicit records-per-block size
+// (<= 0 selects segment.DefaultBlockSize); tests use it to exercise block
+// boundary cases.
+func (d *Dataset) saveSegments(dir string, blockSize int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("save segments: %w", err)
+	}
+	d.mu.RLock()
+	type job struct {
+		id BadgeID
+		s  *Series
+	}
+	jobs := make([]job, 0, len(d.series))
+	for id, s := range d.series {
+		jobs = append(jobs, job{id, s})
+	}
+	d.mu.RUnlock()
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].id < jobs[j].id })
+
+	errs := make([]error, len(jobs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < ioWorkers(len(jobs)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = saveOneSegment(dir, jobs[i].id, jobs[i].s, blockSize)
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func saveOneSegment(dir string, id BadgeID, s *Series, blockSize int) error {
+	err := atomicWrite(dir, segFileName(id), func(f *os.File) error {
+		sw, err := segment.NewWriter(f, uint16(id), blockSize)
+		if err != nil {
+			return err
+		}
+		for _, r := range s.All() {
+			if err := sw.Append(r); err != nil {
+				return err
+			}
+		}
+		return sw.Finish()
+	})
+	if err != nil {
+		return fmt.Errorf("save segment badge %d: %w", id, err)
+	}
+	return nil
+}
+
+// SegmentStore is a dataset reopened out-of-core from a segment directory:
+// per-badge segment readers answering the same All/Range/Kind/RangeKind
+// queries as the in-memory store, while keeping only block indexes and a
+// small decoded-block cache resident. Safe for concurrent readers.
+type SegmentStore struct {
+	dir     string
+	readers map[BadgeID]*segment.Reader
+}
+
+// OpenSegments opens every badge segment in dir for out-of-core reads,
+// with the same salvage semantics and report shape as LoadWithReport: a
+// segment with a damaged index or damaged blocks contributes what is
+// readable and is marked in the report; only an unreadable directory — or
+// one with no usable segment data at all — fails the open.
+func OpenSegments(dir string) (*SegmentStore, *LoadReport, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("open segments: %w", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".seg" {
+			continue
+		}
+		files = append(files, e.Name())
+	}
+	sort.Strings(files)
+
+	type result struct {
+		rd  *segment.Reader
+		err error
+	}
+	results := make([]result, len(files))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < ioWorkers(len(files)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				rd, err := segment.Open(filepath.Join(dir, files[i]))
+				results[i] = result{rd, err}
+			}
+		}()
+	}
+	for i := range files {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	ss := &SegmentStore{dir: dir, readers: make(map[BadgeID]*segment.Reader)}
+	rep := &LoadReport{Badges: make(map[BadgeID]BadgeLoadStatus), Failed: make(map[string]error)}
+	// Resolve in file-name order so duplicate badge IDs (and the report)
+	// come out deterministically regardless of worker scheduling.
+	for i, name := range files {
+		res := results[i]
+		if res.err != nil {
+			rep.Failed[name] = res.err
+			continue
+		}
+		id := BadgeID(res.rd.BadgeID())
+		if _, dup := ss.readers[id]; dup {
+			res.rd.Close()
+			rep.Failed[name] = fmt.Errorf("store: duplicate segment for badge %d", id)
+			continue
+		}
+		ss.readers[id] = res.rd
+		rep.Badges[id] = BadgeLoadStatus{
+			File:      name,
+			Records:   res.rd.Len(),
+			Skipped:   res.rd.Skipped(),
+			Truncated: res.rd.Truncated(),
+		}
+	}
+	if len(rep.Badges) == 0 {
+		return nil, rep, ErrNoData
+	}
+	return ss, rep, nil
+}
+
+// Badges returns the badge IDs present, sorted.
+func (ss *SegmentStore) Badges() []BadgeID {
+	out := make([]BadgeID, 0, len(ss.readers))
+	for id := range ss.readers {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Has reports whether the store holds a segment for the badge.
+func (ss *SegmentStore) Has(id BadgeID) bool {
+	_, ok := ss.readers[id]
+	return ok
+}
+
+// Series returns the badge's out-of-core reader, or nil if the badge has
+// no segment (unlike Dataset.Series, an immutable store cannot create one).
+func (ss *SegmentStore) Series(id BadgeID) *segment.Reader {
+	return ss.readers[id]
+}
+
+// TotalRecords returns the record count across all badges, from the block
+// indexes alone.
+func (ss *SegmentStore) TotalRecords() int {
+	var n int
+	for _, rd := range ss.readers {
+		n += rd.Len()
+	}
+	return n
+}
+
+// BytesOnDisk returns the total segment file size — the on-disk cost to
+// hold against Dataset.EncodedBytes for the compression ratio.
+func (ss *SegmentStore) BytesOnDisk() int64 {
+	var n int64
+	for _, rd := range ss.readers {
+		n += rd.BytesOnDisk()
+	}
+	return n
+}
+
+// CorruptBlocks returns how many blocks across the store failed their CRC
+// at query time so far.
+func (ss *SegmentStore) CorruptBlocks() int64 {
+	var n int64
+	for _, rd := range ss.readers {
+		n += rd.CorruptBlocks()
+	}
+	return n
+}
+
+// Close releases every badge segment file.
+func (ss *SegmentStore) Close() error {
+	var first error
+	for _, rd := range ss.readers {
+		if err := rd.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -334,11 +334,16 @@ func (s *Series) All() []record.Record {
 }
 
 // Range returns the records with timestamps in [from, to) as a read-only,
-// zero-copy view.
+// zero-copy view. An inverted window (from >= to) is empty, not a panic:
+// the two binary searches land with lo > hi when from > to, so the bounds
+// are clamped before slicing.
 func (s *Series) Range(from, to time.Duration) []record.Record {
 	recs := s.sorted()
 	lo := sort.Search(len(recs), func(i int) bool { return recs[i].Local >= from })
 	hi := sort.Search(len(recs), func(i int) bool { return recs[i].Local >= to })
+	if hi < lo {
+		hi = lo
+	}
 	return recs[lo:hi]
 }
 
@@ -379,11 +384,15 @@ func (s *Series) kindLocked(k record.Kind) []record.Record {
 
 // RangeKind returns records of one kind within [from, to) as a read-only,
 // zero-copy view: two binary searches on the per-kind index instead of a
-// scan over every record.
+// scan over every record. Like Range, an inverted window is clamped to an
+// empty view.
 func (s *Series) RangeKind(from, to time.Duration, k record.Kind) []record.Record {
 	kv := s.Kind(k)
 	lo := sort.Search(len(kv), func(i int) bool { return kv[i].Local >= from })
 	hi := sort.Search(len(kv), func(i int) bool { return kv[i].Local >= to })
+	if hi < lo {
+		hi = lo
+	}
 	return kv[lo:hi]
 }
 

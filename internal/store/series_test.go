@@ -75,6 +75,61 @@ func TestQuickRunsMatchStableSort(t *testing.T) {
 	}
 }
 
+// Regression: an inverted window (from > to) used to slice recs[lo:hi]
+// with hi < lo and panic; it must return empty like any other empty window.
+func TestSeriesInvertedWindowEmpty(t *testing.T) {
+	var s Series
+	for i := 0; i < 50; i++ {
+		k := record.KindAccel
+		if i%2 == 0 {
+			k = record.KindMic
+		}
+		s.Append(record.Record{Local: time.Duration(i) * time.Second, Kind: k})
+	}
+	cases := [][2]time.Duration{
+		{30 * time.Second, 10 * time.Second},
+		{49 * time.Second, 0},
+		{100 * time.Second, -100 * time.Second},
+		{20 * time.Second, 20 * time.Second},
+	}
+	for _, c := range cases {
+		if got := s.Range(c[0], c[1]); len(got) != 0 {
+			t.Errorf("Range(%v, %v) = %d records, want 0", c[0], c[1], len(got))
+		}
+		if got := s.RangeKind(c[0], c[1], record.KindMic); len(got) != 0 {
+			t.Errorf("RangeKind(%v, %v) = %d records, want 0", c[0], c[1], len(got))
+		}
+	}
+}
+
+// Property: any window with from >= to is empty, for both Range and
+// RangeKind, over any series shape.
+func TestQuickDegenerateWindowsEmpty(t *testing.T) {
+	f := func(seed uint64, a, b int32) bool {
+		rng := stats.NewRNG(seed)
+		var s Series
+		n := rng.Intn(200)
+		for i := 0; i < n; i++ {
+			k := record.KindAccel
+			if rng.Bool(0.5) {
+				k = record.KindBeacon
+			}
+			s.Append(record.Record{Local: time.Duration(rng.Intn(120)) * time.Second, Kind: k})
+		}
+		from := time.Duration(a) * time.Millisecond
+		to := time.Duration(b) * time.Millisecond
+		if from < to {
+			from, to = to, from
+		}
+		return len(s.Range(from, to)) == 0 &&
+			len(s.RangeKind(from, to, record.KindAccel)) == 0 &&
+			len(s.RangeKind(from, to, record.KindBeacon)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestSeriesStableAcrossSealBoundaries(t *testing.T) {
 	// Equal timestamps must keep append order even when the colliding
 	// records land in different runs (one sealed, one in a later tail).
