@@ -104,7 +104,7 @@ type recSource interface {
 // a multi-GiB segment holds only the cached blocks resident.
 type segSource struct {
 	rd *segment.Reader
-	it segment.Iter
+	it record.Cursor
 }
 
 func (s *segSource) Next() (record.Record, error) {

@@ -5,6 +5,11 @@
 // Usage:
 //
 //	icares [-seed N] [-days N] [-out DIR] [-segout DIR] [-metrics] [-chaos] [-journal FILE]
+//	icares -segdir DIR [-days N]
+//
+// The second form skips the simulation entirely: it reopens a segment
+// archive previously written with -segout and prints the full sociometric
+// report straight from the compressed segments, reading blocks on demand.
 package main
 
 import (
@@ -37,8 +42,21 @@ func run(args []string) error {
 	metrics := fs.Bool("metrics", false, "dump the telemetry registry and sim-clock spans after the run")
 	chaos := fs.Bool("chaos", false, "subject the mission to the seeded chaos fault plan")
 	journalPath := fs.String("journal", "", "dump the mission flight-recorder journal as JSON Lines to this file (\"-\" for stdout)")
+	segdir := fs.String("segdir", "", "print the sociometric report from a previously written segment archive (no simulation)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *segdir != "" {
+		// The -days default describes a simulation; an archive knows its own
+		// span. Only an explicit -days overrides what is on disk.
+		reportDays := 0
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "days" {
+				reportDays = *days
+			}
+		})
+		return reportFromSegments(*segdir, reportDays)
 	}
 
 	var reg *telemetry.Registry
@@ -131,6 +149,28 @@ func run(args []string) error {
 		fmt.Printf("\n%d journal events written to %s\n", journal.Len(), *journalPath)
 	}
 	fmt.Println("\nrun `repro -exp all` to regenerate the paper's figures and tables")
+	return nil
+}
+
+// reportFromSegments reopens a segment archive and prints the full
+// sociometric report out-of-core: the analysis streams decompressed blocks
+// through a bounded cache instead of materializing the dataset in memory.
+func reportFromSegments(dir string, days int) error {
+	ss, rep, err := store.OpenSegments(dir)
+	if err != nil {
+		return err
+	}
+	defer ss.Close()
+	for name, ferr := range rep.Failed {
+		fmt.Fprintf(os.Stderr, "icares: skipping %s: %v\n", name, ferr)
+	}
+	fmt.Fprintf(os.Stderr, "icares: %d badges, %.1f MiB on disk, rectified=%v\n",
+		len(ss.Badges()), float64(ss.BytesOnDisk())/(1<<20), ss.Rectified())
+	p, err := icares.ArchivePipeline(ss, days, icares.TrueAssignment)
+	if err != nil {
+		return err
+	}
+	fmt.Print(p.Report())
 	return nil
 }
 

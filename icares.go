@@ -29,6 +29,7 @@ import (
 	"icares/internal/faultplan"
 	"icares/internal/habitat"
 	"icares/internal/mission"
+	"icares/internal/simtime"
 	"icares/internal/sociometry"
 	"icares/internal/stats"
 	"icares/internal/store"
@@ -149,6 +150,76 @@ func (m *Mission) Pipeline(view AssignmentView, opts ...sociometry.Option) (*soc
 		VoiceProfiles: m.VoiceProfiles(),
 		FirstDay:      m.res.Config.FirstDataDay,
 		LastDay:       m.res.Config.Scenario.Days,
+	}, opts...)
+}
+
+// PipelineOver builds the same analysis pipeline as Pipeline but over a
+// caller-provided record source instead of the mission's in-memory dataset
+// — typically a store.SegmentStore reopened from the segment archive this
+// mission was saved to. The mission supplies everything that is metadata
+// rather than records: habitat geometry, crew names, the assignment view,
+// voice profiles, and the analysis day range. Reports from the two sources
+// are byte-identical; the archive-backed one reads blocks on demand instead
+// of holding the dataset resident.
+func (m *Mission) PipelineOver(data store.Viewer, view AssignmentView, opts ...sociometry.Option) (*sociometry.Pipeline, error) {
+	badgeFor := m.res.Assignment.TrueBadgeFor
+	if view == NominalAssignment {
+		badgeFor = m.res.Assignment.NominalBadgeFor
+	}
+	return sociometry.NewPipeline(sociometry.Source{
+		Habitat:       m.res.Habitat,
+		Data:          data,
+		Names:         mission.Names(),
+		BadgeFor:      badgeFor,
+		VoiceProfiles: m.VoiceProfiles(),
+		FirstDay:      m.res.Config.FirstDataDay,
+		LastDay:       m.res.Config.Scenario.Days,
+	}, opts...)
+}
+
+// ArchivePipeline builds an analysis pipeline over a segment archive (or
+// any other record source) without a Mission in hand — the path a ground
+// analyst takes when all that came back from the habitat is the archive
+// directory. Standard ICAres-1 metadata is assumed: the standard habitat,
+// the default crew roster and voice profiles, the default badge-incident
+// schedule, and data days 2..days (days <= 0 means infer the span from the
+// archive's newest record — each view's Last is an index read, no block
+// decodes). For non-default missions keep the Mission around and use
+// PipelineOver instead.
+func ArchivePipeline(data store.Viewer, days int, view AssignmentView, opts ...sociometry.Option) (*sociometry.Pipeline, error) {
+	if days <= 0 {
+		for _, id := range data.Badges() {
+			v, ok := data.View(id)
+			if !ok {
+				continue
+			}
+			if last, ok := v.Last(); ok {
+				if d := simtime.DayOf(last.Local); d > days {
+					days = d
+				}
+			}
+		}
+		if days <= 0 {
+			days = mission.DefaultScenario(0).Days
+		}
+	}
+	assignment := mission.DefaultAssignment()
+	badgeFor := assignment.TrueBadgeFor
+	if view == NominalAssignment {
+		badgeFor = assignment.NominalBadgeFor
+	}
+	profiles := make(map[string]float64)
+	for _, r := range mission.DefaultRoster() {
+		profiles[r.Name] = r.Traits.F0Hz
+	}
+	return sociometry.NewPipeline(sociometry.Source{
+		Habitat:       habitat.Standard(),
+		Data:          data,
+		Names:         mission.Names(),
+		BadgeFor:      badgeFor,
+		VoiceProfiles: profiles,
+		FirstDay:      2,
+		LastDay:       days,
 	}, opts...)
 }
 

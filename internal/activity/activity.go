@@ -46,6 +46,14 @@ type Sample struct {
 // Classify windows the accel records of one badge and classifies each
 // window. Records must be time-ordered.
 func Classify(recs []record.Record, cfg Config) []Sample {
+	c := record.NewCursor(recs)
+	return ClassifyCursor(&c, cfg)
+}
+
+// ClassifyCursor is Classify over a record cursor: one streaming pass
+// holding only the current window's samples, so out-of-core sources never
+// materialize the accel stream.
+func ClassifyCursor(c *record.Cursor, cfg Config) []Sample {
 	if cfg.Window <= 0 {
 		cfg = DefaultConfig()
 	}
@@ -69,7 +77,8 @@ func Classify(recs []record.Record, cfg Config) []Sample {
 		xs, ys = xs[:0], ys[:0]
 		magSq = 0
 	}
-	for _, r := range recs {
+	for c.Next() {
+		r := c.Record()
 		if r.Kind != record.KindAccel {
 			continue
 		}

@@ -183,6 +183,14 @@ func (l *Locator) Locate(obs []Obs) (Fix, error) {
 // Records must be time-ordered (store.Series provides this). Windows with
 // no observations yield no fix.
 func (l *Locator) Track(recs []record.Record, window time.Duration) []Fix {
+	c := record.NewCursor(recs)
+	return l.TrackCursor(&c, window)
+}
+
+// TrackCursor is Track over a record cursor: one streaming pass holding only
+// the current window's observations, so out-of-core sources never
+// materialize the beacon stream.
+func (l *Locator) TrackCursor(c *record.Cursor, window time.Duration) []Fix {
 	if window <= 0 {
 		window = 15 * time.Second
 	}
@@ -200,7 +208,8 @@ func (l *Locator) Track(recs []record.Record, window time.Duration) []Fix {
 		cur = cur[:0]
 	}
 	started := false
-	for _, r := range recs {
+	for c.Next() {
+		r := c.Record()
 		if r.Kind != record.KindBeacon {
 			continue
 		}

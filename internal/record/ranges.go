@@ -132,10 +132,18 @@ func (s RangeSet) Intersect(o RangeSet) RangeSet {
 // transition records. An interval still open at the end is closed at
 // horizon (pass the last record timestamp or the mission end).
 func WornRanges(recs []Record, horizon time.Duration) RangeSet {
+	c := NewCursor(recs)
+	return WornRangesCursor(&c, horizon)
+}
+
+// WornRangesCursor is WornRanges over a record cursor: a single streaming
+// scan, so out-of-core sources never materialize the stream.
+func WornRangesCursor(c *Cursor, horizon time.Duration) RangeSet {
 	var out RangeSet
 	var open bool
 	var start time.Duration
-	for _, r := range recs {
+	for c.Next() {
+		r := c.Record()
 		if r.Kind != KindWear {
 			continue
 		}

@@ -1,0 +1,78 @@
+package segment
+
+import (
+	"testing"
+
+	"icares/internal/record"
+	"icares/internal/stats"
+)
+
+// TestCountersAgreeAfterCorruptDrop pins the satellite-2 contract: the
+// reader's counters are lazily consistent. Before any block is decoded they
+// answer from the index (the damage is not yet known); after a scan that
+// touched every block, Len() equals len(All()), Dropped() reports the lost
+// records, and KindCounts() agrees kind-by-kind with what All() actually
+// returns — including kinds wholly lost with the block, which report 0
+// without losing their key.
+func TestCountersAgreeAfterCorruptDrop(t *testing.T) {
+	recs := randRecords(stats.NewRNG(17), 1000)
+	raw := writeSegment(t, 3, 100, recs)
+	rd0 := openBytes(t, raw)
+	off := rd0.blocks[4].offset + rd0.blocks[4].length/2
+	mut := append([]byte(nil), raw...)
+	mut[off] ^= 0x40
+
+	rd := openBytes(t, mut)
+	// Index-only answers before any block is touched.
+	if rd.Len() != 1000 {
+		t.Fatalf("pre-scan Len() = %d, want index total 1000", rd.Len())
+	}
+	if rd.Dropped() != 0 || rd.CorruptBlocks() != 0 {
+		t.Fatalf("pre-scan Dropped=%d CorruptBlocks=%d, want 0,0", rd.Dropped(), rd.CorruptBlocks())
+	}
+
+	all := rd.All()
+	if rd.Len() != len(all) {
+		t.Fatalf("post-scan Len() = %d disagrees with len(All()) = %d", rd.Len(), len(all))
+	}
+	if rd.Dropped() != 100 {
+		t.Fatalf("Dropped() = %d, want the corrupt block's 100 records", rd.Dropped())
+	}
+	if rd.CorruptBlocks() != 1 {
+		t.Fatalf("CorruptBlocks() = %d, want 1", rd.CorruptBlocks())
+	}
+
+	actual := make(map[record.Kind]int)
+	for _, r := range all {
+		actual[r.Kind]++
+	}
+	kc := rd.KindCounts()
+	sum := 0
+	for k, n := range kc {
+		if actual[k] != n {
+			t.Errorf("KindCounts[%v] = %d, want %d surviving", k, n, actual[k])
+		}
+		sum += n
+	}
+	for k, n := range actual {
+		if _, ok := kc[k]; !ok {
+			t.Errorf("KindCounts missing kind %v (%d records)", k, n)
+		}
+	}
+	if sum != len(all) {
+		t.Errorf("KindCounts sums to %d, want %d", sum, len(all))
+	}
+	// Kind() must agree with the counter it advertises.
+	for k, n := range kc {
+		if got := len(rd.Kind(k)); got != n {
+			t.Errorf("len(Kind(%v)) = %d, want KindCounts %d", k, got, n)
+		}
+	}
+
+	// Idempotent: re-scans neither recount nor resurrect the block.
+	rd.All()
+	if rd.Len() != len(all) || rd.Dropped() != 100 || rd.CorruptBlocks() != 1 {
+		t.Fatalf("re-scan changed counters: Len=%d Dropped=%d CorruptBlocks=%d",
+			rd.Len(), rd.Dropped(), rd.CorruptBlocks())
+	}
+}

@@ -7,10 +7,10 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math/bits"
 	"os"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"icares/internal/record"
@@ -32,8 +32,16 @@ const DefaultCacheBlocks = 64
 // Salvage follows record.LogReader semantics: a segment whose index frame
 // is lost or corrupt is recovered by a forward scan over the self-framed
 // blocks (Skipped counts corrupt blocks dropped, Truncated reports a
-// mid-frame tail), and a block whose CRC fails at query time contributes no
-// records and is counted by CorruptBlocks.
+// mid-frame tail), and a block that fails its CRC, decode, or read at query
+// time is dropped for the reader's lifetime (reopen to retry a transient
+// I/O error) and counted by CorruptBlocks.
+//
+// Len and KindCounts are lazily consistent with that query-time salvage:
+// they subtract the records of every block discovered corrupt so far, so
+// after any call that touches all blocks (All, a full-window Iter),
+// Len() == len(All()) and KindCounts agrees with what Kind returns even
+// when blocks were damaged after the index was written. Dropped reports how
+// many indexed records have been lost that way.
 type Reader struct {
 	r      io.ReaderAt
 	closer io.Closer
@@ -47,12 +55,17 @@ type Reader struct {
 	skipped   int
 	truncated bool
 	salvaged  bool
-	corrupt   atomic.Int64
 
 	mu    sync.Mutex
 	cache map[int]*list.Element
 	lru   *list.List // front = most recently used; values are *cacheSlot
 	cap   int
+	// dropped holds the indexes of blocks discovered corrupt at query time.
+	// It survives LRU eviction so a re-read of the same bad block is never
+	// double-counted; droppedTotal/droppedCounts mirror it in record units.
+	dropped       map[int]struct{}
+	droppedTotal  int
+	droppedCounts map[record.Kind]int
 }
 
 // cacheSlot is one cached decoded block.
@@ -111,7 +124,7 @@ func NewReader(ra io.ReaderAt, size int64) (*Reader, error) {
 	for _, m := range r.blocks {
 		r.total += m.count
 		for _, kc := range m.counts {
-			r.counts[kc.kind] += kc.count
+			r.counts[kc.kind] += int(kc.count)
 		}
 	}
 	return r, nil
@@ -189,6 +202,9 @@ func (r *Reader) loadIndex() error {
 			return ErrCorrupt
 		}
 		body = body[n:]
+		// Exact-size allocation: with one index entry per block, append
+		// growth slack across a 30-badge archive adds up to megabytes.
+		m.counts = make([]kindCount, 0, bits.OnesCount64(mask))
 		total := 0
 		for k := 0; k < 64; k++ {
 			if mask&(1<<k) == 0 {
@@ -199,7 +215,7 @@ func (r *Reader) loadIndex() error {
 				return ErrCorrupt
 			}
 			body = body[n:]
-			m.counts = append(m.counts, kindCount{kind: record.Kind(k + 1), count: int(c)})
+			m.counts = append(m.counts, kindCount{kind: record.Kind(k + 1), count: int32(c)})
 			total += int(c)
 		}
 		// The index must describe a plausible, in-bounds, in-order block.
@@ -288,7 +304,7 @@ func (r *Reader) salvageScan() {
 		}
 		counts := make([]kindCount, 0, len(blk.byKind))
 		for _, k := range presentKinds(blk.recs) {
-			counts = append(counts, kindCount{kind: k, count: len(blk.byKind[k])})
+			counts = append(counts, kindCount{kind: k, count: int32(len(blk.byKind[k]))})
 		}
 		r.blocks = append(r.blocks, blockMeta{
 			offset:   off,
@@ -323,8 +339,14 @@ func (r *Reader) Close() error {
 // BadgeID returns the badge this segment belongs to.
 func (r *Reader) BadgeID() uint16 { return r.badgeID }
 
-// Len returns the number of records the index describes.
-func (r *Reader) Len() int { return r.total }
+// Len returns the number of readable records: the index total minus the
+// records of blocks discovered corrupt at query time, so it agrees with
+// len(All()) once every block has been touched.
+func (r *Reader) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total - r.droppedTotal
+}
 
 // BytesOnDisk returns the segment file size — the figure to hold against
 // the in-memory store's EncodedBytes for the compression ratio.
@@ -333,14 +355,25 @@ func (r *Reader) BytesOnDisk() int64 { return r.size }
 // Blocks returns how many blocks the segment holds.
 func (r *Reader) Blocks() int { return len(r.blocks) }
 
-// KindCounts returns the per-kind record counts from the block index,
-// without touching any block.
+// KindCounts returns the per-kind record counts from the block index minus
+// the counts of blocks discovered corrupt at query time, without touching
+// any block. Kinds whose records were all lost report 0 (the key stays).
 func (r *Reader) KindCounts() map[record.Kind]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	out := make(map[record.Kind]int, len(r.counts))
 	for k, n := range r.counts {
-		out[k] = n
+		out[k] = n - r.droppedCounts[k]
 	}
 	return out
+}
+
+// liveKindCount returns the index count of k minus records in blocks known
+// corrupt — the exact size hint for Kind once every block has been touched.
+func (r *Reader) liveKindCount(k record.Kind) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counts[k] - r.droppedCounts[k]
 }
 
 // Skipped returns how many corrupt blocks the salvage scan dropped.
@@ -354,14 +387,28 @@ func (r *Reader) Truncated() bool { return r.truncated }
 // had to be rebuilt by scanning.
 func (r *Reader) Salvaged() bool { return r.salvaged }
 
-// CorruptBlocks returns how many blocks failed their CRC or decode at query
-// time; their records are lost to views, mirroring load salvage.
-func (r *Reader) CorruptBlocks() int64 { return r.corrupt.Load() }
+// CorruptBlocks returns how many distinct blocks failed their CRC, decode,
+// or read at query time; their records are lost to views (and subtracted
+// from Len/KindCounts), mirroring load salvage.
+func (r *Reader) CorruptBlocks() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return int64(len(r.dropped))
+}
+
+// Dropped returns how many indexed records sit in blocks discovered corrupt
+// at query time — the delta between the index totals and what queries can
+// return.
+func (r *Reader) Dropped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.droppedTotal
+}
 
 // block returns the decoded block i, from cache or by one seek+read. A
-// block that fails its CRC or decode is cached as corrupt (and counted) so
-// it is not re-read on every query; an I/O error is treated the same way
-// but not cached, since it may be transient.
+// block that fails its CRC, decode, or read is cached as corrupt so it is
+// not re-read on every query, and its records are subtracted from
+// Len/KindCounts exactly once (the dropped set outlives cache eviction).
 func (r *Reader) block(i int) *decodedBlock {
 	r.mu.Lock()
 	if el, ok := r.cache[i]; ok {
@@ -374,20 +421,15 @@ func (r *Reader) block(i int) *decodedBlock {
 
 	m := &r.blocks[i]
 	frame := make([]byte, m.length)
-	if _, err := r.r.ReadAt(frame, m.offset); err != nil {
-		r.corrupt.Add(1)
-		return &decodedBlock{corrupt: true}
-	}
 	blk := new(decodedBlock)
-	if body, err := checkFrame(frame, tagBlock); err != nil {
+	if _, err := r.r.ReadAt(frame, m.offset); err != nil {
+		blk.corrupt = true
+	} else if body, err := checkFrame(frame, tagBlock); err != nil {
 		blk.corrupt = true
 	} else if decoded, err := decodeBlockBody(body); err != nil {
 		blk.corrupt = true
 	} else {
 		blk = decoded
-	}
-	if blk.corrupt {
-		r.corrupt.Add(1)
 	}
 
 	r.mu.Lock()
@@ -395,6 +437,21 @@ func (r *Reader) block(i int) *decodedBlock {
 		r.lru.MoveToFront(el)
 		blk = el.Value.(*cacheSlot).block
 	} else {
+		if blk.corrupt {
+			if _, seen := r.dropped[i]; !seen {
+				if r.dropped == nil {
+					r.dropped = make(map[int]struct{})
+				}
+				r.dropped[i] = struct{}{}
+				r.droppedTotal += m.count
+				if r.droppedCounts == nil {
+					r.droppedCounts = make(map[record.Kind]int)
+				}
+				for _, kc := range m.counts {
+					r.droppedCounts[kc.kind] += int(kc.count)
+				}
+			}
+		}
 		r.cache[i] = r.lru.PushFront(&cacheSlot{idx: i, block: blk})
 		for r.lru.Len() > r.cap {
 			last := r.lru.Back()
@@ -453,10 +510,10 @@ func (r *Reader) Range(from, to time.Duration) []record.Record {
 // Kind returns all records of one kind, in time order, skipping blocks the
 // index proves empty of it.
 func (r *Reader) Kind(k record.Kind) []record.Record {
-	total := r.counts[k]
-	if total == 0 {
+	if r.counts[k] == 0 {
 		return nil
 	}
+	total := r.liveKindCount(k)
 	var only *blockMeta
 	for i := range r.blocks {
 		if r.blocks[i].kindCount(k) > 0 {
@@ -532,65 +589,30 @@ func (r *Reader) Last() (record.Record, bool) {
 	return record.Record{}, false
 }
 
-// Iter returns a zero-alloc iterator over the records in [from, to),
-// optionally restricted to one kind (k == 0 iterates every kind). The
-// iterator is a value — it lives on the caller's stack — and touches only
-// the blocks the query needs; stepping through a cached block allocates
-// nothing.
-func (r *Reader) Iter(from, to time.Duration, k record.Kind) Iter {
+// Iter returns a streaming cursor over the records in [from, to),
+// optionally restricted to one kind (k == 0 iterates every kind). It
+// touches only the blocks the query needs, one at a time — the record
+// stream a store.View exposes without ever materializing it; stepping
+// through a cached block allocates nothing.
+func (r *Reader) Iter(from, to time.Duration, k record.Kind) record.Cursor {
 	lo, hi := r.rangeBlocks(from, to)
-	return Iter{r: r, k: k, from: from, to: to, next: lo, end: hi}
-}
-
-// Iter walks records block by block. Usage:
-//
-//	it := rd.Iter(from, to, record.KindAccel)
-//	for it.Next() {
-//		r := it.Record()
-//		...
-//	}
-type Iter struct {
-	r         *Reader
-	k         record.Kind
-	from, to  time.Duration
-	next, end int // block span left to visit
-	cur       []record.Record
-	i         int // position in cur; valid record at i after Next
-}
-
-// Next advances to the next record, loading the next needed block when the
-// current one is exhausted. It returns false when the window is done.
-func (it *Iter) Next() bool {
-	for {
-		if it.cur != nil {
-			it.i++
-			if it.i < len(it.cur) {
-				return true
-			}
-			it.cur = nil
-		}
-		for it.cur == nil {
-			if it.next >= it.end {
-				return false
-			}
-			i := it.next
-			it.next++
-			if it.k != 0 && it.r.blocks[i].kindCount(it.k) == 0 {
+	next := lo
+	return record.PullCursor(func() []record.Record {
+		for next < hi {
+			i := next
+			next++
+			if k != 0 && r.blocks[i].kindCount(k) == 0 {
 				continue
 			}
-			blk := it.r.block(i)
+			blk := r.block(i)
 			recs := blk.recs
-			if it.k != 0 {
-				recs = blk.byKind[it.k]
+			if k != 0 {
+				recs = blk.byKind[k]
 			}
-			if recs = sliceRange(recs, it.from, it.to); len(recs) > 0 {
-				it.cur = recs
-				it.i = -1
-				break
+			if recs = sliceRange(recs, from, to); len(recs) > 0 {
+				return recs
 			}
 		}
-	}
+		return nil
+	})
 }
-
-// Record returns the record Next advanced to.
-func (it *Iter) Record() record.Record { return it.cur[it.i] }

@@ -112,10 +112,13 @@ var (
 	ErrOutOfOrder = errors.New("segment: out-of-order append")
 )
 
-// kindCount is one per-kind record count inside a block.
+// kindCount is one per-kind record count inside a block. Kept packed
+// (8 bytes) deliberately: a fleet-scale archive holds one index entry per
+// block per badge, so this struct is the dominant resident cost of an open
+// reader. int32 is ample — a block holds at most maxBlockRecords records.
 type kindCount struct {
 	kind  record.Kind
-	count int
+	count int32
 }
 
 // blockMeta is one index entry: where a block lives and what it holds.
@@ -131,7 +134,7 @@ type blockMeta struct {
 func (m *blockMeta) kindCount(k record.Kind) int {
 	for _, kc := range m.counts {
 		if kc.kind == k {
-			return kc.count
+			return int(kc.count)
 		}
 		if kc.kind > k {
 			break
@@ -357,7 +360,7 @@ func appendBlockBody(dst []byte, recs []record.Record) ([]byte, []kindCount, err
 		if section, err = appendBodyColumn(section, k, recs); err != nil {
 			return dst, nil, err
 		}
-		counts = append(counts, kindCount{kind: k, count: n})
+		counts = append(counts, kindCount{kind: k, count: int32(n)})
 		dst = appendUvarint(dst, uint64(len(section)))
 		dst = append(dst, section...)
 	}

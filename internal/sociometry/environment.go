@@ -43,10 +43,9 @@ func (p *Pipeline) RoomClimates() []RoomClimate {
 			continue
 		}
 		ti := 0
-		for _, r := range p.RecordsFor(name) {
-			if r.Kind != record.KindEnv {
-				continue
-			}
+		it := p.crewIter(name, record.KindEnv)
+		for it.Next() {
+			r := it.Record()
 			// Advance to the last fix at or before the env sample.
 			for ti+1 < len(track) && track[ti+1].At <= r.Local {
 				ti++

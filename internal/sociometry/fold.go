@@ -42,6 +42,11 @@ type staleKey struct {
 // the dataset needs clock correction: rectification installs per-series
 // rectifiers so late records are rewritten to reference time on ingest.
 func (p *Pipeline) Follow() (stop func()) {
+	if p.src.Dataset == nil {
+		// A read-only source (segment archive) never appends; nothing to
+		// follow.
+		return func() {}
+	}
 	return p.src.Dataset.Subscribe(func(id store.BadgeID, r record.Record, seq uint64) {
 		p.markStale(id, r.Local)
 	})
@@ -115,7 +120,6 @@ func (p *Pipeline) applyStale() {
 				continue
 			}
 			w := wkey{name, k.day}
-			p.winRecords.drop(w)
 			p.winTrack.drop(w)
 			p.winFrames.drop(w)
 			p.winActivity.drop(w)

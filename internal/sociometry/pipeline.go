@@ -56,6 +56,7 @@ package sociometry
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -72,13 +73,22 @@ import (
 	"icares/internal/timesync"
 )
 
-// Source describes a mission dataset to analyze.
+// Source describes a mission dataset to analyze. Exactly one of Dataset and
+// Data must be set: Dataset is the resident, mutable store (records on
+// local clocks until RectifyClocks rewrites them in place); Data is any
+// read-only Viewer — typically a store.SegmentStore reopened from an
+// archive — whose views the pipeline rectifies lazily instead, since an
+// immutable backend cannot rewrite timestamps. Either way every analysis is
+// byte-identical.
 type Source struct {
 	// Habitat is the floor plan the data was collected in.
 	Habitat *habitat.Habitat
 	// Dataset holds the per-badge record series (local clocks until
 	// RectifyClocks is run).
 	Dataset *store.Dataset
+	// Data is the read-only alternative to Dataset: an out-of-core (or
+	// otherwise immutable) record source satisfying store.Viewer.
+	Data store.Viewer
 	// Names lists the astronauts.
 	Names []string
 	// BadgeFor maps (astronaut, mission day) to the badge they wore that
@@ -99,8 +109,10 @@ func (s Source) validate() error {
 	switch {
 	case s.Habitat == nil:
 		return errors.New("sociometry: nil habitat")
-	case s.Dataset == nil:
-		return errors.New("sociometry: nil dataset")
+	case s.Dataset == nil && s.Data == nil:
+		return errors.New("sociometry: no record source (set Dataset or Data)")
+	case s.Dataset != nil && s.Data != nil:
+		return errors.New("sociometry: both Dataset and Data set (pick one record source)")
 	case len(s.Names) == 0:
 		return errors.New("sociometry: no astronauts")
 	case s.BadgeFor == nil:
@@ -145,9 +157,13 @@ type Pipeline struct {
 
 	// rectified/corrections memoize this pipeline's view of the
 	// dataset-level rectification (the dataset itself guards against
-	// double application).
+	// double application). For a read-only Data source, views holds the
+	// per-badge rectified read views instead — the source's raw views
+	// wrapped to answer in reference time (see rectview.go) — since an
+	// immutable backend cannot be rewritten in place.
 	rectMu      memoOnce
 	corrections map[store.BadgeID]timesync.Correction
+	views       map[store.BadgeID]store.View
 
 	// locator is built once per pipeline and shared by every window
 	// computation (it is immutable after construction).
@@ -158,19 +174,23 @@ type Pipeline struct {
 	// Window partials: the per-(astronaut, day) fold state each derivation
 	// is assembled from. Raw means before the worn filter — worn ranges are
 	// an astronaut-level, cross-day scan, so the filter applies at the
-	// astronaut level.
-	winRecords  memo[wkey, []record.Record]      // day slice of the worn badge's series
-	winTrack    memo[wkey, []localization.Fix]   // raw localization fixes (loc window)
-	winFrames   memo[wkey, []speech.Frame]       // raw mic frames (speech config)
-	winActivity memo[wkey, []activity.Sample]    // raw classified activity windows
-	winContacts memo[wkey, []proximity.Contact]  // attributed IR contacts
+	// astronaut level. Each partial folds straight off a window cursor
+	// (windowIter) — raw day record slices are never memoized, so resident
+	// memory stays bounded by the source's cache, not the dataset.
+	winTrack    memo[wkey, []localization.Fix]  // raw localization fixes (loc window)
+	winFrames   memo[wkey, []speech.Frame]      // raw mic frames (speech config)
+	winActivity memo[wkey, []activity.Sample]   // raw classified activity windows
+	winContacts memo[wkey, []proximity.Contact] // attributed IR contacts
 
 	// Memoized per-astronaut derivations, folded from the window partials.
 	// Dependency order matters for invalidation scoping (see invalidate):
 	//
-	//	records ── worn ── frames            (speech config)
-	//	   └─ track (loc window) ── intervals (min dwell) ── presence
-	//	   └─ activity (walking windows)
+	//	worn ── frames            (speech config)
+	//	  └─ track (loc window) ── intervals (min dwell) ── presence
+	//	  └─ activity (walking windows)
+	//
+	// records backs the public RecordsFor materialization only; no report
+	// derivation reads it (they stream cursors instead).
 	recordsCache  memo[string, []record.Record]
 	wornCache     memo[string, record.RangeSet]
 	trackCache    memo[string, []localization.Fix]
@@ -280,6 +300,10 @@ func (p *Pipeline) Horizon() time.Duration {
 // perturb already-rewritten timestamps and break determinism).
 func (p *Pipeline) RectifyClocks() (map[store.BadgeID]timesync.Correction, error) {
 	p.rectMu.do(func() {
+		if p.src.Dataset == nil {
+			p.rectifyViews()
+			return
+		}
 		if p.disableRect && !p.src.Dataset.Rectified() {
 			// Ablation: leave the dataset on skewed local clocks, and do
 			// not mark it rectified — the ablation is pipeline-local.
@@ -291,7 +315,8 @@ func (p *Pipeline) RectifyClocks() (map[store.BadgeID]timesync.Correction, error
 			for _, id := range p.src.Dataset.Badges() {
 				s := p.src.Dataset.Series(id)
 				var est timesync.Estimator
-				est.ObserveRecords(s.All())
+				it := s.Iter(minTime, maxTime, record.KindSync)
+				est.ObserveCursor(&it)
 				c, err := est.Fit()
 				if err != nil {
 					// Not enough exchanges: keep local time.
@@ -308,6 +333,98 @@ func (p *Pipeline) RectifyClocks() (map[store.BadgeID]timesync.Correction, error
 	return p.corrections, nil
 }
 
+// minTime/maxTime span the whole timestamp domain for full Iter scans.
+const (
+	minTime = time.Duration(math.MinInt64)
+	maxTime = time.Duration(math.MaxInt64)
+)
+
+// rectifyViews is the read-only-source counterpart of the dataset branch in
+// RectifyClocks: instead of rewriting timestamps in place (impossible on an
+// immutable backend) it builds the per-badge read views every query runs
+// through. If the source records that it was archived after rectification
+// (store.SegmentStore reads this from the segment manifest), the persisted
+// corrections are adopted as-is and the raw views already answer in
+// reference time; otherwise each badge's correction is fitted from one
+// streaming pass over its sync records and the view is wrapped to rectify
+// lazily (rectview.go). Badges whose fit fails keep their local clocks,
+// exactly like the in-place path.
+func (p *Pipeline) rectifyViews() {
+	p.corrections = make(map[store.BadgeID]timesync.Correction)
+	p.views = make(map[store.BadgeID]store.View)
+
+	type rectInfo interface {
+		Rectified() bool
+		Corrections() map[store.BadgeID]timesync.Correction
+	}
+	var persisted map[store.BadgeID]timesync.Correction
+	adopted := false
+	if ri, ok := p.src.Data.(rectInfo); ok && ri.Rectified() {
+		adopted = true
+		persisted = ri.Corrections()
+	}
+
+	for _, id := range p.src.Data.Badges() {
+		v, ok := p.src.Data.View(id)
+		if !ok {
+			continue
+		}
+		switch {
+		case p.disableRect:
+			// Ablation: skewed local clocks, no corrections reported.
+			p.views[id] = v
+		case adopted:
+			// Timestamps were rewritten before the archive was saved; adopt
+			// the persisted correction without re-applying it.
+			c, ok := persisted[id]
+			if !ok {
+				c = timesync.Identity()
+			}
+			p.corrections[id] = c
+			p.views[id] = v
+		default:
+			var est timesync.Estimator
+			it := v.Iter(minTime, maxTime, record.KindSync)
+			est.ObserveCursor(&it)
+			c, err := est.Fit()
+			if err != nil {
+				p.corrections[id] = timesync.Identity()
+				p.views[id] = v
+				continue
+			}
+			p.corrections[id] = c
+			p.views[id] = rectifyView(v, c)
+		}
+	}
+	if p.disableRect {
+		p.corrections = make(map[store.BadgeID]timesync.Correction)
+	}
+}
+
+// view returns the badge's rectified read view from whichever backend the
+// source carries, or ok == false when the badge has no data. Rectification
+// (memoized) runs first so callers always see reference time.
+func (p *Pipeline) view(id store.BadgeID) (store.View, bool) {
+	p.RectifyClocks()
+	if p.src.Dataset != nil {
+		return p.src.Dataset.View(id)
+	}
+	v, ok := p.views[id]
+	return v, ok
+}
+
+// sourceBytes returns the source's framed-encoding size (the paper's
+// "150 GiB" figure) from whichever backend can answer it; 0 if none can.
+func (p *Pipeline) sourceBytes() int64 {
+	if p.src.Dataset != nil {
+		return p.src.Dataset.EncodedBytes()
+	}
+	if eb, ok := p.src.Data.(interface{ EncodedBytes() int64 }); ok {
+		return eb.EncodedBytes()
+	}
+	return 0
+}
+
 // dayRange returns the [start, end) reference times of a mission day.
 func dayRange(day int) (time.Duration, time.Duration) {
 	return simtime.StartOfDay(day), simtime.StartOfDay(day + 1)
@@ -321,40 +438,90 @@ func (p *Pipeline) sharedLocator() (*localization.Locator, error) {
 	return p.locator, p.locErr
 }
 
-// windowsAligned reports whether per-day localization windows compose
-// exactly: windows are aligned to absolute time, so day-wise folds equal
-// the whole-stream derivation iff the window divides the day. The defaults
-// (15 s localization, 10 s activity) do; an exotic SetLocWindow value falls
-// back to whole-stream derivation instead of silently changing results.
-func (p *Pipeline) windowsAligned() bool {
+// locAligned reports whether per-day localization windows compose exactly:
+// windows are aligned to absolute time, so day-wise folds equal the
+// whole-stream derivation iff the window divides the day. The default 15 s
+// does; an exotic SetLocWindow value falls back to whole-stream derivation
+// instead of silently changing results.
+func (p *Pipeline) locAligned() bool {
 	return p.LocWindow > 0 && (24*time.Hour)%p.LocWindow == 0
 }
 
-// windowRecords returns one fold window's record slice: the day range of
-// the badge the astronaut wore that day (empty without an assignment).
-func (p *Pipeline) windowRecords(name string, day int) []record.Record {
+// activityAligned is the same guard for the activity classifier's window.
+// The pipeline always classifies with activity.DefaultConfig (10 s, which
+// divides the day), but the guard keeps the per-day fold honest if that
+// default ever changes — activitySamples falls back to a whole-stream
+// classification just like track does for an exotic LocWindow.
+func activityAligned() bool {
+	w := activity.DefaultConfig().Window
+	return w > 0 && (24*time.Hour)%w == 0
+}
+
+// windowIter returns a streaming cursor over one fold window: the day
+// range of the badge the astronaut wore that day, optionally restricted to
+// one kind (empty without an assignment or data).
+func (p *Pipeline) windowIter(name string, day int, k record.Kind) record.Cursor {
 	id := p.src.BadgeFor(name, day)
 	if id == 0 {
-		return nil
+		return record.NewCursor(nil)
 	}
-	return p.winRecords.get(wkey{name, day}, func(k wkey) []record.Record {
-		from, to := dayRange(k.day)
-		return p.src.Dataset.Series(id).Range(from, to)
+	v, ok := p.view(id)
+	if !ok {
+		return record.NewCursor(nil)
+	}
+	from, to := dayRange(day)
+	return v.Iter(from, to, k)
+}
+
+// crewIter chains the astronaut's per-day windows into one continuous
+// cursor over the data days — the whole-mission stream the astronaut-level
+// scans (worn ranges, whole-stream track/classify fallbacks) fold, without
+// ever materializing it.
+func (p *Pipeline) crewIter(name string, k record.Kind) record.Cursor {
+	day := p.src.FirstDay
+	var cur record.Cursor
+	started := false
+	return record.PullCursor(func() []record.Record {
+		for {
+			if started {
+				if b := cur.NextBatch(); b != nil {
+					return b
+				}
+			}
+			if day > p.src.LastDay {
+				return nil
+			}
+			cur = p.windowIter(name, day, k)
+			started = true
+			day++
+		}
 	})
 }
+
+// windowMemo reports whether per-window partials should be memoized. Only a
+// mutable Dataset invalidates windows (appends via Follow); a read-only
+// source computes each partial exactly once for the astronaut-level cache
+// folding it, so memoizing would hold every window's slice forever purely
+// as overhead — on paper-scale archives, roughly doubling resident memory.
+func (p *Pipeline) windowMemo() bool { return p.src.Dataset != nil }
 
 // windowTrack returns one fold window's raw localization fixes.
 func (p *Pipeline) windowTrack(name string, day int) []localization.Fix {
 	if p.src.BadgeFor(name, day) == 0 {
 		return nil
 	}
-	return p.winTrack.get(wkey{name, day}, func(k wkey) []localization.Fix {
+	compute := func(k wkey) []localization.Fix {
 		loc, err := p.sharedLocator()
 		if err != nil {
 			return nil
 		}
-		return loc.Track(p.windowRecords(k.name, k.day), p.LocWindow)
-	})
+		it := p.windowIter(k.name, k.day, record.KindBeacon)
+		return loc.TrackCursor(&it, p.LocWindow)
+	}
+	if !p.windowMemo() {
+		return compute(wkey{name, day})
+	}
+	return p.winTrack.get(wkey{name, day}, compute)
 }
 
 // windowFrames returns one fold window's raw mic frames.
@@ -362,9 +529,14 @@ func (p *Pipeline) windowFrames(name string, day int) []speech.Frame {
 	if p.src.BadgeFor(name, day) == 0 {
 		return nil
 	}
-	return p.winFrames.get(wkey{name, day}, func(k wkey) []speech.Frame {
-		return speech.Frames(p.windowRecords(k.name, k.day), p.SpeechConfig)
-	})
+	compute := func(k wkey) []speech.Frame {
+		it := p.windowIter(k.name, k.day, record.KindMic)
+		return speech.FramesCursor(&it, p.SpeechConfig)
+	}
+	if !p.windowMemo() {
+		return compute(wkey{name, day})
+	}
+	return p.winFrames.get(wkey{name, day}, compute)
 }
 
 // windowActivity returns one fold window's raw classified activity samples.
@@ -372,9 +544,14 @@ func (p *Pipeline) windowActivity(name string, day int) []activity.Sample {
 	if p.src.BadgeFor(name, day) == 0 {
 		return nil
 	}
-	return p.winActivity.get(wkey{name, day}, func(k wkey) []activity.Sample {
-		return activity.Classify(p.windowRecords(k.name, k.day), activity.DefaultConfig())
-	})
+	compute := func(k wkey) []activity.Sample {
+		it := p.windowIter(k.name, k.day, record.KindAccel)
+		return activity.ClassifyCursor(&it, activity.DefaultConfig())
+	}
+	if !p.windowMemo() {
+		return compute(wkey{name, day})
+	}
+	return p.winActivity.get(wkey{name, day}, compute)
 }
 
 // RecordsFor returns the astronaut's records across all data days,
@@ -393,12 +570,29 @@ func (p *Pipeline) recordsFor(name string) []record.Record {
 	}
 	return p.recordsCache.get(name, func(name string) []record.Record {
 		defer p.observeStage("records", time.Now())
+		// Materialization is what the public accessor promises; the report
+		// path never takes it — every derivation streams windowIter/crewIter
+		// cursors instead, which is what keeps out-of-core sources
+		// out-of-core.
 		var out []record.Record
-		for day := p.src.FirstDay; day <= p.src.LastDay; day++ {
-			out = append(out, p.windowRecords(name, day)...)
+		it := p.crewIter(name, 0)
+		for b := it.NextBatch(); b != nil; b = it.NextBatch() {
+			out = append(out, b...)
 		}
 		return out
 	})
+}
+
+// hasRecords probes whether the astronaut has any records in the data days
+// without materializing them: at most one cursor step per assigned day.
+func (p *Pipeline) hasRecords(name string) bool {
+	for day := p.src.FirstDay; day <= p.src.LastDay; day++ {
+		it := p.windowIter(name, day, 0)
+		if it.Next() {
+			return true
+		}
+	}
+	return false
 }
 
 // WornRanges returns the astronaut's badge-worn periods (memoized).
@@ -409,12 +603,17 @@ func (p *Pipeline) WornRanges(name string) record.RangeSet {
 }
 
 func (p *Pipeline) wornRanges(name string) record.RangeSet {
+	if _, err := p.RectifyClocks(); err != nil {
+		return nil
+	}
 	return p.wornCache.get(name, func(name string) record.RangeSet {
 		defer p.observeStage("worn", time.Now())
 		// Worn ranges are a stateful open/close scan across the whole
 		// mission (a badge can stay on over midnight), so they fold at the
-		// astronaut level, not per window — the scan is linear and cheap.
-		return record.WornRanges(p.recordsFor(name), p.Horizon())
+		// astronaut level, not per window — one streaming pass over the
+		// chained day cursors.
+		it := p.crewIter(name, record.KindWear)
+		return record.WornRangesCursor(&it, p.Horizon())
 	})
 }
 
@@ -435,16 +634,20 @@ func (p *Pipeline) track(name string) []localization.Fix {
 	return p.trackCache.get(name, func(name string) []localization.Fix {
 		defer p.observeStage("track", time.Now())
 		var fixes []localization.Fix
-		if p.windowsAligned() {
+		if p.locAligned() {
 			for day := p.src.FirstDay; day <= p.src.LastDay; day++ {
 				fixes = append(fixes, p.windowTrack(name, day)...)
 			}
 		} else {
+			// A window that does not divide the day can span midnight, so
+			// the per-day fold would split it; derive from the continuous
+			// whole-mission beacon stream instead.
 			loc, err := p.sharedLocator()
 			if err != nil {
 				return nil
 			}
-			fixes = loc.Track(p.recordsFor(name), p.LocWindow)
+			it := p.crewIter(name, record.KindBeacon)
+			fixes = loc.TrackCursor(&it, p.LocWindow)
 		}
 		worn := p.wornRanges(name)
 		kept := make([]localization.Fix, 0, len(fixes))
@@ -513,8 +716,15 @@ func (p *Pipeline) activitySamples(name string) []activity.Sample {
 	return p.activityCache.get(name, func(name string) []activity.Sample {
 		defer p.observeStage("activity", time.Now())
 		var raw []activity.Sample
-		for day := p.src.FirstDay; day <= p.src.LastDay; day++ {
-			raw = append(raw, p.windowActivity(name, day)...)
+		if activityAligned() {
+			for day := p.src.FirstDay; day <= p.src.LastDay; day++ {
+				raw = append(raw, p.windowActivity(name, day)...)
+			}
+		} else {
+			// Same midnight-spanning-window concern as track: classify the
+			// continuous stream when the window does not divide the day.
+			it := p.crewIter(name, record.KindAccel)
+			raw = activity.ClassifyCursor(&it, activity.DefaultConfig())
 		}
 		return activity.FilterWorn(raw, p.wornRanges(name))
 	})
@@ -526,10 +736,11 @@ func (p *Pipeline) windowContacts(name string, day int) []proximity.Contact {
 	if id == 0 {
 		return nil
 	}
-	return p.winContacts.get(wkey{name, day}, func(k wkey) []proximity.Contact {
-		from, to := dayRange(k.day)
+	compute := func(k wkey) []proximity.Contact {
 		var out []proximity.Contact
-		for _, r := range p.src.Dataset.Series(id).RangeKind(from, to, record.KindIR) {
+		it := p.windowIter(k.name, k.day, record.KindIR)
+		for it.Next() {
+			r := it.Record()
 			peer, ok := p.wearerOf(store.BadgeID(r.PeerID), k.day)
 			if !ok {
 				continue
@@ -537,7 +748,11 @@ func (p *Pipeline) windowContacts(name string, day int) []proximity.Contact {
 			out = append(out, proximity.Contact{At: r.Local, A: k.name, B: peer})
 		}
 		return out
-	})
+	}
+	if !p.windowMemo() {
+		return compute(wkey{name, day})
+	}
+	return p.winContacts.get(wkey{name, day}, compute)
 }
 
 // wearers returns the day's BadgeID→astronaut inverse of the assignment,

@@ -162,7 +162,9 @@ func TestSetMinDwellInvalidationScope(t *testing.T) {
 		got  int64
 		want int64
 	}{
-		{"records", p.recordsCache.computeCount(), n},
+		// The analysis path streams per-window cursors now; only explicit
+		// RecordsFor calls (none in this test) fill the records cache.
+		{"records", p.recordsCache.computeCount(), 0},
 		{"worn", p.wornCache.computeCount(), n},
 		{"track", p.trackCache.computeCount(), n},
 		{"frames", p.framesCache.computeCount(), n},

@@ -416,13 +416,12 @@ func (p *Pipeline) Wear() WearStats {
 	p.beginAnalysis()
 	defer p.endAnalysis()
 	p.forEachName(func(name string) { p.WornRanges(name) })
-	out := WearStats{ByDay: make(map[int]float64), TotalBytes: p.src.Dataset.EncodedBytes()}
+	out := WearStats{ByDay: make(map[int]float64), TotalBytes: p.sourceBytes()}
 	var wornSum, activeSum, persons float64
 	dayWorn := make(map[int]float64)
 	dayCount := make(map[int]int)
 	for _, name := range p.src.Names {
-		recs := p.RecordsFor(name)
-		if len(recs) == 0 {
+		if !p.hasRecords(name) {
 			continue
 		}
 		worn := p.WornRanges(name)
@@ -435,7 +434,7 @@ func (p *Pipeline) Wear() WearStats {
 			daytime += dr.Duration()
 			w := worn.Clip(dr).Total()
 			wornT += w
-			activeT += activeTimeIn(recs, dr)
+			activeT += p.activeTimeIn(name, day, dr)
 			dayWorn[day] += w.Seconds() / dr.Duration().Seconds()
 			dayCount[day]++
 		}
@@ -456,17 +455,27 @@ func (p *Pipeline) Wear() WearStats {
 	return out
 }
 
-// activeTimeIn estimates recording coverage inside a window: spans between
-// consecutive records with gaps above 5 minutes treated as inactive.
-func activeTimeIn(recs []record.Record, window record.TimeRange) time.Duration {
+// activeTimeIn estimates recording coverage inside one day's daytime
+// window: spans between consecutive records with gaps above 5 minutes
+// treated as inactive. The window lies inside one mission day, so only
+// that day's badge view contributes — streaming its window keeps Wear
+// out-of-core.
+func (p *Pipeline) activeTimeIn(name string, day int, window record.TimeRange) time.Duration {
 	const maxGap = 5 * time.Minute
+	id := p.src.BadgeFor(name, day)
+	if id == 0 {
+		return 0
+	}
+	v, ok := p.view(id)
+	if !ok {
+		return 0
+	}
 	var total time.Duration
 	var last time.Duration
 	started := false
-	for _, r := range recs {
-		if r.Local < window.From || r.Local >= window.To {
-			continue
-		}
+	it := v.Iter(window.From, window.To, 0)
+	for it.Next() {
+		r := it.Record()
 		if started {
 			gap := r.Local - last
 			if gap <= maxGap {

@@ -42,8 +42,16 @@ type Frame struct {
 // Frames applies the detection rule to a badge's mic records. Records must
 // be time-ordered.
 func Frames(recs []record.Record, cfg Config) []Frame {
-	out := make([]Frame, 0, len(recs)/4)
-	for _, r := range recs {
+	c := record.NewCursor(recs)
+	return FramesCursor(&c, cfg)
+}
+
+// FramesCursor is Frames over a record cursor: one streaming pass, so
+// out-of-core sources never materialize the mic stream.
+func FramesCursor(c *record.Cursor, cfg Config) []Frame {
+	var out []Frame
+	for c.Next() {
+		r := c.Record()
 		if r.Kind != record.KindMic {
 			continue
 		}
@@ -149,7 +157,10 @@ func AttributeSpeaker(f0Hz float64, profiles map[string]float64, toleranceHz flo
 	}
 	best, bestDiff := "", math.Inf(1)
 	for name, p := range profiles {
-		if d := math.Abs(p - f0Hz); d < bestDiff {
+		// Break exact-distance ties by name: profiles is a map, and letting
+		// iteration order decide made equidistant frames flip between
+		// speakers run to run.
+		if d := math.Abs(p - f0Hz); d < bestDiff || (d == bestDiff && name < best) {
 			best, bestDiff = name, d
 		}
 	}

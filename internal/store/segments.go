@@ -1,7 +1,9 @@
 package store
 
 import (
+	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -10,30 +12,79 @@ import (
 
 	"icares/internal/record"
 	"icares/internal/segment"
+	"icares/internal/timesync"
 )
 
 // View is the read contract a sociometric query runs against: the
 // in-memory Series and the out-of-core segment.Reader both satisfy it, so
 // analyses can be pointed at either a resident dataset or a reopened
-// segment directory without caring which.
+// segment directory without caring which. Iter is the streaming access
+// path (k == 0 iterates every kind): per-window folds step it instead of
+// materializing All/Range slices, which is what keeps resident memory
+// bounded by the backend's cache rather than the dataset.
 type View interface {
 	All() []record.Record
 	Range(from, to time.Duration) []record.Record
 	Kind(k record.Kind) []record.Record
 	RangeKind(from, to time.Duration, k record.Kind) []record.Record
+	Iter(from, to time.Duration, k record.Kind) record.Cursor
 	Len() int
 	First() (record.Record, bool)
 	Last() (record.Record, bool)
 }
 
+// Viewer is the read-side source abstraction the analysis pipeline runs
+// against: the badges present and a View per badge. Dataset (resident) and
+// SegmentStore (out-of-core) both satisfy it. View returns ok == false for
+// a badge with no data — never a typed-nil View.
+type Viewer interface {
+	Badges() []BadgeID
+	View(id BadgeID) (View, bool)
+}
+
 var (
 	_ View = (*Series)(nil)
 	_ View = (*segment.Reader)(nil)
+
+	_ Viewer = (*Dataset)(nil)
+	_ Viewer = (*SegmentStore)(nil)
+)
+
+// minDuration/maxDuration span the whole timestamp domain, for full scans
+// through the half-open Iter/Range windows.
+const (
+	minDuration = time.Duration(math.MinInt64)
+	maxDuration = time.Duration(math.MaxInt64)
 )
 
 // segFileName returns the on-disk segment name of a badge.
 func segFileName(id BadgeID) string {
 	return fmt.Sprintf("badge-%03d.seg", id)
+}
+
+// manifestName is the per-directory sidecar recording save-time dataset
+// facts an immutable archive cannot reconstruct from the segments alone.
+const manifestName = "manifest.json"
+
+// manifest is the JSON sidecar written next to the segments. Rectified and
+// the corrections matter most: segment readers cannot Rectify in place, so
+// a reopened archive needs to know whether timestamps were already
+// rewritten to reference time — and with which corrections — to avoid
+// fitting (and applying) them a second time. FramedBytes preserves the
+// dataset's framed-log size for the paper's bytes-per-crew accounting.
+type manifest struct {
+	Rectified   bool                 `json:"rectified"`
+	FramedBytes int64                `json:"framed_bytes"`
+	Corrections []manifestCorrection `json:"corrections,omitempty"`
+}
+
+// manifestCorrection is one badge's clock correction in the manifest.
+type manifestCorrection struct {
+	Badge      BadgeID `json:"badge"`
+	OffsetNS   int64   `json:"offset_ns"`
+	Skew       float64 `json:"skew"`
+	ResidualNS int64   `json:"residual_ns"`
+	N          int     `json:"n"`
 }
 
 // SaveSegments writes the dataset as one compressed, immutable segment
@@ -85,6 +136,26 @@ func (d *Dataset) saveSegments(dir string, blockSize int) error {
 			return err
 		}
 	}
+
+	man := manifest{Rectified: d.Rectified(), FramedBytes: d.EncodedBytes()}
+	for id, c := range d.Corrections() {
+		man.Corrections = append(man.Corrections, manifestCorrection{
+			Badge:      id,
+			OffsetNS:   int64(c.Offset),
+			Skew:       c.Skew,
+			ResidualNS: int64(c.Residual),
+			N:          c.N,
+		})
+	}
+	sort.Slice(man.Corrections, func(i, j int) bool {
+		return man.Corrections[i].Badge < man.Corrections[j].Badge
+	})
+	err := atomicWrite(dir, manifestName, func(f *os.File) error {
+		return json.NewEncoder(f).Encode(man)
+	})
+	if err != nil {
+		return fmt.Errorf("save segments: %w", err)
+	}
 	return nil
 }
 
@@ -114,6 +185,17 @@ func saveOneSegment(dir string, id BadgeID, s *Series, blockSize int) error {
 type SegmentStore struct {
 	dir     string
 	readers map[BadgeID]*segment.Reader
+
+	// Manifest facts (absent or unreadable manifest leaves the zero values:
+	// unrectified, no corrections, framed size unknown).
+	rectified   bool
+	framedBytes int64
+	corrections map[BadgeID]timesync.Correction
+
+	// Fallback framed-size accounting when the manifest is missing: one
+	// streaming scan over every surviving record, memoized.
+	encOnce  sync.Once
+	encBytes int64
 }
 
 // OpenSegments opens every badge segment in dir for out-of-core reads,
@@ -185,6 +267,27 @@ func OpenSegments(dir string) (*SegmentStore, *LoadReport, error) {
 	if len(rep.Badges) == 0 {
 		return nil, rep, ErrNoData
 	}
+	// Parse the manifest tolerantly: an archive without one (older layout,
+	// or the sidecar was lost) still opens, just unrectified and with the
+	// framed size recomputed on demand.
+	if data, err := os.ReadFile(filepath.Join(dir, manifestName)); err == nil {
+		var man manifest
+		if json.Unmarshal(data, &man) == nil {
+			ss.rectified = man.Rectified
+			ss.framedBytes = man.FramedBytes
+			if len(man.Corrections) > 0 {
+				ss.corrections = make(map[BadgeID]timesync.Correction, len(man.Corrections))
+				for _, mc := range man.Corrections {
+					ss.corrections[mc.Badge] = timesync.Correction{
+						Offset:   time.Duration(mc.OffsetNS),
+						Skew:     mc.Skew,
+						Residual: time.Duration(mc.ResidualNS),
+						N:        mc.N,
+					}
+				}
+			}
+		}
+	}
 	return ss, rep, nil
 }
 
@@ -206,8 +309,73 @@ func (ss *SegmentStore) Has(id BadgeID) bool {
 
 // Series returns the badge's out-of-core reader, or nil if the badge has
 // no segment (unlike Dataset.Series, an immutable store cannot create one).
+// The nil is a concrete *segment.Reader — assigning it into a View
+// interface yields a non-nil interface whose every call panics. Code
+// consuming views must use View instead; Series exists for callers that
+// want the reader's segment-specific surface (salvage counters, cache
+// sizing).
 func (ss *SegmentStore) Series(id BadgeID) *segment.Reader {
 	return ss.readers[id]
+}
+
+// View returns the badge's read view, or ok == false when the badge has no
+// segment. Unlike Series, a miss is never a typed-nil interface.
+func (ss *SegmentStore) View(id BadgeID) (View, bool) {
+	rd, ok := ss.readers[id]
+	if !ok {
+		return nil, false
+	}
+	return rd, true
+}
+
+// Rectified reports whether the archived timestamps were already rewritten
+// to reference time before SaveSegments (recorded in the manifest).
+func (ss *SegmentStore) Rectified() bool { return ss.rectified }
+
+// Corrections returns the per-badge clock corrections recorded at save
+// time, nil when the manifest carried none.
+func (ss *SegmentStore) Corrections() map[BadgeID]timesync.Correction {
+	if ss.corrections == nil {
+		return nil
+	}
+	out := make(map[BadgeID]timesync.Correction, len(ss.corrections))
+	for id, c := range ss.corrections {
+		out[id] = c
+	}
+	return out
+}
+
+// EncodedBytes returns the dataset's framed-log size — the figure
+// corresponding to the paper's "150 GiB of data", matching what
+// Dataset.EncodedBytes reported at save time. It answers from the manifest
+// when present; otherwise it streams every surviving record once (memoized)
+// and sums record.EncodedSize, which equals the in-memory accounting over
+// the same records.
+func (ss *SegmentStore) EncodedBytes() int64 {
+	if ss.framedBytes > 0 {
+		return ss.framedBytes
+	}
+	ss.encOnce.Do(func() {
+		var n int64
+		for _, rd := range ss.readers {
+			it := rd.Iter(minDuration, maxDuration, 0)
+			for it.Next() {
+				if sz, err := record.EncodedSize(it.Record()); err == nil {
+					n += int64(sz)
+				}
+			}
+		}
+		ss.encBytes = n
+	})
+	return ss.encBytes
+}
+
+// SetCacheBlocks resizes every reader's decoded-block cache (minimum 1 per
+// reader) — the knob bounding the store's resident set.
+func (ss *SegmentStore) SetCacheBlocks(n int) {
+	for _, rd := range ss.readers {
+		rd.SetCacheBlocks(n)
+	}
 }
 
 // TotalRecords returns the record count across all badges, from the block

@@ -396,6 +396,18 @@ func (s *Series) RangeKind(from, to time.Duration, k record.Kind) []record.Recor
 	return kv[lo:hi]
 }
 
+// Iter returns a streaming cursor over the records in [from, to),
+// optionally restricted to one kind (k == 0 iterates every kind) — the
+// Series side of the View.Iter contract. The cursor wraps the zero-copy
+// Range/RangeKind view, so building and stepping it allocates nothing
+// beyond what those queries already cache.
+func (s *Series) Iter(from, to time.Duration, k record.Kind) record.Cursor {
+	if k == 0 {
+		return record.NewCursor(s.Range(from, to))
+	}
+	return record.NewCursor(s.RangeKind(from, to, k))
+}
+
 // First returns the earliest record, if any.
 func (s *Series) First() (record.Record, bool) {
 	all := s.sorted()

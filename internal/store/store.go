@@ -77,6 +77,34 @@ func (d *Dataset) Series(id BadgeID) *Series {
 	return s
 }
 
+// View returns the badge's read view, or ok == false when the dataset holds
+// no series for it. Unlike Series it never creates one — it is the
+// Viewer-contract read path shared with SegmentStore.
+func (d *Dataset) View(id BadgeID) (View, bool) {
+	d.mu.RLock()
+	s, ok := d.series[id]
+	d.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	return s, true
+}
+
+// Corrections returns the per-badge clock corrections recorded by
+// RectifyOnce, nil before rectification.
+func (d *Dataset) Corrections() map[BadgeID]timesync.Correction {
+	d.rectMu.Lock()
+	defer d.rectMu.Unlock()
+	if d.corrections == nil {
+		return nil
+	}
+	out := make(map[BadgeID]timesync.Correction, len(d.corrections))
+	for id, c := range d.corrections {
+		out[id] = c
+	}
+	return out
+}
+
 // Subscribe registers fn to be called for every record appended to any of
 // the dataset's series, with the badge it landed on and the series' append
 // sequence number after the append. The callback runs synchronously on the

@@ -177,8 +177,18 @@ func (e *Estimator) Observe(o Observation) {
 // ObserveRecords feeds every KindSync record into the estimator and returns
 // how many observations were added.
 func (e *Estimator) ObserveRecords(recs []record.Record) int {
+	c := record.NewCursor(recs)
+	return e.ObserveCursor(&c)
+}
+
+// ObserveCursor feeds every KindSync record the cursor yields into the
+// estimator and returns how many observations were added. It visits each
+// record exactly once, so fits over out-of-core sources stream without
+// materializing the badge's record set.
+func (e *Estimator) ObserveCursor(c *record.Cursor) int {
 	n := 0
-	for _, r := range recs {
+	for c.Next() {
+		r := c.Record()
 		if r.Kind != record.KindSync {
 			continue
 		}
